@@ -1,0 +1,65 @@
+package faultmem
+
+import (
+	"faultmem/internal/core"
+	"faultmem/internal/ecc"
+	"faultmem/internal/hw"
+	"faultmem/internal/yield"
+)
+
+// OverheadRow is one scheme of the Fig. 6 comparison, relative to
+// H(39,32) SECDED (= 1.0 in every metric).
+type OverheadRow = hw.Relative
+
+// OverheadTable evaluates the gate-level hardware model for a 32-bit
+// macro with the given row count: bit-shuffling at nFM=1..5, H(22,16)
+// P-ECC, and the H(39,32) SECDED reference (Fig. 6).
+func OverheadTable(rows int) []OverheadRow {
+	return hw.Fig6Table(hw.Lib28nm(), hw.Macro28nm(rows))
+}
+
+// ShuffleReadOverhead returns the absolute read-path overhead of the
+// bit-shuffling scheme at the given nFM over a rows-deep macro.
+func ShuffleReadOverhead(rows, nfm int) hw.Overhead {
+	return hw.ShuffleOverhead(hw.Lib28nm(), hw.Macro28nm(rows), core.Config{Width: 32, NFM: nfm})
+}
+
+// ECCReadOverhead returns the absolute read-path overhead of H(39,32)
+// SECDED over a rows-deep macro.
+func ECCReadOverhead(rows int) hw.Overhead {
+	return hw.ECCOverhead(hw.Lib28nm(), hw.Macro28nm(rows), ecc.H39_32())
+}
+
+// MSE evaluates the paper's memory-local quality function (Eq. 6) for a
+// fault map over rows words under the named protection: the mean over
+// rows of the summed squared residual error magnitudes.
+//
+// scheme is one of "none", "ecc", "pecc", or "nfm1".."nfm5".
+func MSE(faults FaultMap, rows int, scheme string) (float64, error) {
+	s, err := yieldScheme(scheme)
+	if err != nil {
+		return 0, err
+	}
+	return yield.MSEFromRowFaults(faults.ByRow(), rows, s), nil
+}
+
+func yieldScheme(name string) (yield.Scheme, error) {
+	switch name {
+	case "none":
+		return yield.Unprotected{}, nil
+	case "ecc":
+		return yield.FullECC{}, nil
+	case "pecc":
+		return yield.PriorityECC{}, nil
+	case "nfm1", "nfm2", "nfm3", "nfm4", "nfm5":
+		return yield.NewShuffled(int(name[3] - '0')), nil
+	default:
+		return nil, errUnknownScheme(name)
+	}
+}
+
+type errUnknownScheme string
+
+func (e errUnknownScheme) Error() string {
+	return "faultmem: unknown scheme " + string(e) + " (want none|ecc|pecc|nfm1..nfm5)"
+}

@@ -1,0 +1,54 @@
+package faultmem
+
+import (
+	"faultmem/internal/bist"
+	"faultmem/internal/core"
+	"faultmem/internal/sram"
+)
+
+// BitArray is the raw bit-cell array underlying the protected memories;
+// BIST operates on it directly.
+type BitArray = sram.Array
+
+// NewBitArray creates a fault-free rows x width bit-cell array. Install
+// a fault map with SetFaults.
+func NewBitArray(rows, width int) *BitArray { return sram.NewArray(rows, width) }
+
+// MarchAlgorithm is a memory test (a sequence of March elements).
+type MarchAlgorithm = bist.Algorithm
+
+// BISTReport is the outcome of a BIST run: the detected, classified
+// fault map and the access count.
+type BISTReport = bist.Report
+
+// March test presets, by increasing cost.
+var (
+	// ZeroOne is the 4N MSCAN test.
+	ZeroOne = bist.ZeroOne
+	// MATSPlus is the 5N MATS+ test.
+	MATSPlus = bist.MATSPlus
+	// MarchCMinus is the 10N March C- test (the default choice).
+	MarchCMinus = bist.MarchCMinus
+	// MarchB is the 17N March B test.
+	MarchB = bist.MarchB
+)
+
+// RunBIST executes a March test on the array and returns the detected
+// fault map. The array contents are destroyed (BIST runs at power-on /
+// test time, §3).
+func RunBIST(alg MarchAlgorithm, arr *BitArray) BISTReport {
+	return bist.Run(alg, arr)
+}
+
+// RunBISTAndProgram runs the full power-on self-test flow of §3 on a
+// 32-bit array: BIST-scan, program a fresh FM-LUT for the given nFM, and
+// attach the bit-shuffling datapath.
+func RunBISTAndProgram(alg MarchAlgorithm, arr *BitArray, nfm int) (*ShuffledMemory, BISTReport, error) {
+	cfg := core.Config{Width: 32, NFM: nfm}
+	lut, rep, err := bist.ProgramFMLUT(alg, arr, cfg)
+	if err != nil {
+		return nil, rep, err
+	}
+	m, err := core.NewShuffledWithLUT(arr, lut)
+	return m, rep, err
+}

@@ -1,0 +1,369 @@
+// Command faultmem regenerates every table and figure of the paper's
+// evaluation:
+//
+//	faultmem fig2    # SRAM cell failure probability vs VDD (Fig. 2)
+//	faultmem fig4    # error magnitude per faulty bit position (Fig. 4)
+//	faultmem fig5    # CDF of memory MSE per protection scheme (Fig. 5)
+//	faultmem fig6    # hardware overhead vs H(39,32) SECDED (Fig. 6)
+//	faultmem fig7    # application quality CDFs (Fig. 7a/b/c)
+//	faultmem table1  # applications and datasets summary (Table 1)
+//	faultmem all     # everything, in paper order
+//
+// Common flags: -csv writes machine-readable output, -seed fixes the
+// random streams. Experiment-specific flags (sample budgets, Pcell,
+// memory size) are listed by each subcommand's -h.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"faultmem/internal/exp"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "fig2":
+		err = runFig2(args)
+	case "fig4":
+		err = runFig4(args)
+	case "fig5":
+		err = runFig5(args)
+	case "fig6":
+		err = runFig6(args)
+	case "fig7":
+		err = runFig7(args)
+	case "table1":
+		err = runTable1(args)
+	case "ablate":
+		err = runAblate(args)
+	case "redundancy":
+		err = runRedundancy(args)
+	case "energy":
+		err = runEnergy(args)
+	case "all":
+		err = runAll(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "faultmem: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultmem %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `faultmem - regenerate the DAC'15 bit-shuffling paper's evaluation
+
+usage: faultmem <command> [flags]
+
+commands:
+  fig2     SRAM cell failure probability under VDD scaling
+  fig4     error magnitude per faulty bit position (all nFM options)
+  fig5     CDF of memory MSE: none / nFM=1..5 / P-ECC (16KB, Pcell=5e-6)
+  fig6     read power / delay / area overhead relative to H(39,32) SECDED
+  fig7     application quality CDFs (-app elasticnet|pca|knn|all)
+  table1   evaluation applications and datasets
+  ablate     beyond-the-paper ablations (FM-LUT policy, LUT realization, soft errors)
+  redundancy spare-row/column economics under VDD scaling (Section 2's argument)
+  energy     min viable VDD and read energy per scheme (the paper's payoff)
+  all        run everything in paper order
+
+run 'faultmem <command> -h' for the command's flags.
+`)
+}
+
+func render(t *exp.Table, csvOut bool) error {
+	var err error
+	if csvOut {
+		err = t.RenderCSV(os.Stdout, true)
+	} else {
+		err = t.Render(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(os.Stdout)
+	return err
+}
+
+func runFig2(args []string) error {
+	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "CSV output")
+	seed := fs.Int64("seed", 2, "random seed")
+	dirs := fs.Int("isdirs", 20000, "importance-sampling directions (0 disables the 6T cross-check)")
+	step := fs.Float64("step", 0.02, "VDD sweep step [V]")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := exp.DefaultFig2Params()
+	p.Seed = *seed
+	p.ISDirections = *dirs
+	p.Step = *step
+	return render(exp.Fig2Table(exp.Fig2(p)), *csvOut)
+}
+
+func runFig4(args []string) error {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "CSV output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return render(exp.Fig4Table(exp.Fig4()), *csvOut)
+}
+
+func runFig5(args []string) error {
+	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "CSV output")
+	seed := fs.Int64("seed", 1, "random seed")
+	trun := fs.Float64("trun", 2e5, "Monte-Carlo budget scale (paper: 1e7)")
+	pcell := fs.Float64("pcell", 5e-6, "bit-cell failure probability")
+	targets := fs.Bool("targets", true, "also print the MSE-at-yield-target table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := exp.DefaultFig5Params()
+	p.CDF.Seed = *seed
+	p.CDF.Trun = *trun
+	p.CDF.Pcell = *pcell
+	res := exp.Fig5(p)
+	if err := render(res.CDFTable(), *csvOut); err != nil {
+		return err
+	}
+	if *targets {
+		return render(res.YieldTable(), *csvOut)
+	}
+	return nil
+}
+
+func runFig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "CSV output")
+	rows := fs.Int("rows", 4096, "macro depth in words (4096 = 16KB)")
+	abs := fs.Bool("abs", false, "also print the absolute overhead table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res := exp.Fig6(exp.Fig6Params{Rows: *rows})
+	if err := render(res.Fig6RelativeTable(), *csvOut); err != nil {
+		return err
+	}
+	if *abs {
+		return render(res.AbsoluteTable(), *csvOut)
+	}
+	return nil
+}
+
+func runFig7(args []string) error {
+	fs := flag.NewFlagSet("fig7", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "CSV output")
+	seed := fs.Int64("seed", 7, "random seed")
+	app := fs.String("app", "all", "benchmark: elasticnet|pca|knn|all")
+	trials := fs.Int("trials", 60, "Monte-Carlo trials per protection arm (paper: 500 per failure count)")
+	pcell := fs.Float64("pcell", 1e-3, "bit-cell failure probability")
+	paperPCA := fs.Bool("madelon500", false, "use the full 500-feature Madelon geometry (slow)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	apps := []exp.App{exp.AppElasticnet, exp.AppPCA, exp.AppKNN}
+	if *app != "all" {
+		a, err := exp.ParseApp(*app)
+		if err != nil {
+			return err
+		}
+		apps = []exp.App{a}
+	}
+	for _, a := range apps {
+		p := exp.DefaultFig7Params(a)
+		p.Seed = *seed
+		p.Trials = *trials
+		p.Pcell = *pcell
+		p.MadelonPaperSize = *paperPCA
+		res, err := exp.Fig7(p)
+		if err != nil {
+			return err
+		}
+		if err := render(res.QualityCDFTable(), *csvOut); err != nil {
+			return err
+		}
+		if err := render(res.SummaryTable(), *csvOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "CSV output")
+	seed := fs.Int64("seed", 3, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := exp.Table1(*seed)
+	if err != nil {
+		return err
+	}
+	return render(exp.Table1Table(rows), *csvOut)
+}
+
+func runAblate(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "CSV output")
+	seed := fs.Int64("seed", 5, "random seed")
+	trials := fs.Int("trials", 5000, "Monte-Carlo trials for the multi-fault policy study")
+	rows := fs.Int("rows", 1024, "macro depth for the transient study")
+	pcell := fs.Float64("pcell", 1e-4, "persistent fault probability for the transient study")
+	reads := fs.Int("reads", 8, "read passes per row in the transient study")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if err := render(exp.AblationMultiFaultTable(exp.AblationMultiFault(*seed, *trials)), *csvOut); err != nil {
+		return err
+	}
+	if err := render(exp.AblationLUTTable(4096), *csvOut); err != nil {
+		return err
+	}
+	rates := []float64{0, 1e-5, 1e-4}
+	tr, err := exp.AblationTransient(*seed, *rows, *pcell, rates, *reads)
+	if err != nil {
+		return err
+	}
+	if err := render(exp.AblationTransientTable(tr, *pcell), *csvOut); err != nil {
+		return err
+	}
+	bp := exp.DefaultBISTCoverageParams()
+	bp.Seed = *seed
+	if err := render(exp.BISTCoverageTable(exp.BISTCoverage(bp), bp), *csvOut); err != nil {
+		return err
+	}
+	pp := exp.DefaultParetoParams()
+	pp.CDF.Seed = *seed
+	if err := render(exp.ParetoTable(exp.Pareto(pp), pp), *csvOut); err != nil {
+		return err
+	}
+	return render(exp.WidthTable(exp.WidthAblation(4096)), *csvOut)
+}
+
+func runRedundancy(args []string) error {
+	fs := flag.NewFlagSet("redundancy", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "CSV output")
+	seed := fs.Int64("seed", 17, "random seed")
+	dies := fs.Int("dies", 300, "Monte-Carlo dies per operating point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := exp.DefaultRedundancyParams()
+	p.Seed = *seed
+	p.Dies = *dies
+	return render(exp.RedundancyTable(exp.RedundancyStudy(p), p), *csvOut)
+}
+
+func runEnergy(args []string) error {
+	fs := flag.NewFlagSet("energy", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "CSV output")
+	seed := fs.Int64("seed", 13, "random seed")
+	dies := fs.Int("dies", 400, "Monte-Carlo dies per (scheme, VDD) point")
+	target := fs.Float64("target", 1e6, "MSE quality target")
+	minYield := fs.Float64("minyield", 0.999, "required quality yield")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := exp.DefaultEnergyParams()
+	p.Seed = *seed
+	p.Dies = *dies
+	p.MSETarget = *target
+	p.YieldTarget = *minYield
+	return render(exp.EnergyTable(exp.EnergyStudy(p), p), *csvOut)
+}
+
+func runAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "CSV output")
+	quick := fs.Bool("quick", false, "reduced sample budgets for a fast pass")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_ = csvOut
+
+	banner(os.Stdout, "Fig. 2")
+	p2 := exp.DefaultFig2Params()
+	if *quick {
+		p2.ISDirections = 4000
+	}
+	if err := render(exp.Fig2Table(exp.Fig2(p2)), *csvOut); err != nil {
+		return err
+	}
+
+	banner(os.Stdout, "Fig. 4")
+	if err := render(exp.Fig4Table(exp.Fig4()), *csvOut); err != nil {
+		return err
+	}
+
+	banner(os.Stdout, "Table 1")
+	t1, err := exp.Table1(3)
+	if err != nil {
+		return err
+	}
+	if err := render(exp.Table1Table(t1), *csvOut); err != nil {
+		return err
+	}
+
+	banner(os.Stdout, "Fig. 5")
+	p5 := exp.DefaultFig5Params()
+	if *quick {
+		p5.CDF.Trun = 2e4
+	}
+	res5 := exp.Fig5(p5)
+	if err := render(res5.CDFTable(), *csvOut); err != nil {
+		return err
+	}
+	if err := render(res5.YieldTable(), *csvOut); err != nil {
+		return err
+	}
+
+	banner(os.Stdout, "Fig. 6")
+	res6 := exp.Fig6(exp.DefaultFig6Params())
+	if err := render(res6.Fig6RelativeTable(), *csvOut); err != nil {
+		return err
+	}
+	if err := render(res6.AbsoluteTable(), *csvOut); err != nil {
+		return err
+	}
+
+	banner(os.Stdout, "Fig. 7")
+	for _, a := range []exp.App{exp.AppElasticnet, exp.AppPCA, exp.AppKNN} {
+		p7 := exp.DefaultFig7Params(a)
+		if *quick {
+			p7.Trials = 15
+		}
+		res7, err := exp.Fig7(p7)
+		if err != nil {
+			return err
+		}
+		if err := render(res7.QualityCDFTable(), *csvOut); err != nil {
+			return err
+		}
+		if err := render(res7.SummaryTable(), *csvOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func banner(w io.Writer, s string) {
+	fmt.Fprintf(w, "############ %s ############\n\n", s)
+}

@@ -1,0 +1,96 @@
+// Command yieldcalc answers the §4 yield questions: given a memory size,
+// an operating point (Pcell or VDD), and an MSE quality target, what
+// fraction of manufactured dies qualifies under each protection scheme?
+// It also sweeps VDD to show how far each scheme lets the supply scale at
+// a fixed yield requirement — the paper's motivating trade-off.
+//
+//	yieldcalc -pcell 5e-6 -target 1e6
+//	yieldcalc -sweep -target 1e6 -minyield 0.999
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"faultmem/internal/exp"
+	"faultmem/internal/sram"
+	"faultmem/internal/yield"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "yieldcalc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rows := flag.Int("rows", 4096, "memory depth in 32-bit words (4096 = 16KB)")
+	pcell := flag.Float64("pcell", 5e-6, "bit-cell failure probability (ignored with -sweep)")
+	target := flag.Float64("target", 1e6, "MSE quality target (die qualifies if MSE < target)")
+	trun := flag.Float64("trun", 5e4, "Monte-Carlo budget scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	sweep := flag.Bool("sweep", false, "sweep VDD instead of a single Pcell point")
+	minYield := flag.Float64("minyield", 0.999, "yield requirement for the -sweep minimum-VDD report")
+	flag.Parse()
+
+	schemes := []exp.Protection{exp.ProtNone, exp.ProtShuffle1, exp.ProtShuffle2,
+		exp.ProtShuffle3, exp.ProtShuffle4, exp.ProtShuffle5, exp.ProtPECC, exp.ProtECC}
+
+	evalAt := func(p float64) []yield.CDFResult {
+		params := yield.CDFParams{
+			Rows: *rows, Width: 32, Pcell: p,
+			Trun: *trun, MaxPerCount: 10000, Seed: *seed,
+		}
+		out := make([]yield.CDFResult, len(schemes))
+		for i, s := range schemes {
+			out[i] = yield.MSECDF(params, s.YieldScheme())
+		}
+		return out
+	}
+
+	if !*sweep {
+		fmt.Printf("memory: %d x 32 (%d cells), Pcell=%.3e, target MSE < %.3e\n\n",
+			*rows, *rows*32, *pcell, *target)
+		results := evalAt(*pcell)
+		fmt.Printf("%-16s  %-14s  %-12s\n", "scheme", "quality yield", "trad. yield")
+		trad := results[0].PZeroFailures // zero-failure criterion
+		for i, r := range results {
+			fmt.Printf("%-16s  %-14.6f  %-12.6f\n", schemes[i].String(), r.YieldAtMSE(*target), trad)
+		}
+		fmt.Printf("\n(traditional zero-failure yield rejects every die with any fault, Section 2)\n")
+		return nil
+	}
+
+	model := sram.Default28nm()
+	fmt.Printf("VDD sweep: quality yield at MSE < %.1e for a %d-word memory\n\n", *target, *rows)
+	fmt.Printf("%-6s %-10s", "VDD", "Pcell")
+	for _, s := range schemes {
+		fmt.Printf(" %-14s", s.String())
+	}
+	fmt.Println()
+	minVDD := make(map[exp.Protection]float64)
+	for v := 0.90; v >= 0.60-1e-9; v -= 0.02 {
+		p := model.Pcell(v)
+		results := evalAt(p)
+		fmt.Printf("%-6.2f %-10.2e", v, p)
+		for i, r := range results {
+			y := r.YieldAtMSE(*target)
+			fmt.Printf(" %-14.6f", y)
+			if y >= *minYield {
+				minVDD[schemes[i]] = v // keep lowest passing VDD (loop descends)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nminimum VDD sustaining yield >= %.4f at MSE < %.1e:\n", *minYield, *target)
+	for _, s := range schemes {
+		if v, ok := minVDD[s]; ok {
+			fmt.Printf("  %-16s %.2f V\n", s.String(), v)
+		} else {
+			fmt.Printf("  %-16s not reachable in [0.60, 0.90] V\n", s.String())
+		}
+	}
+	return nil
+}

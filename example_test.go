@@ -1,0 +1,70 @@
+package faultmem_test
+
+import (
+	"fmt"
+
+	"faultmem"
+)
+
+// The basic flow: build a bit-shuffling memory over a known fault map
+// and observe the bounded error.
+func ExampleNewShuffledMemory() {
+	// One fault at the sign bit of word 0 — worst case for raw storage.
+	faults := faultmem.FaultMap{{Row: 0, Col: 31, Kind: faultmem.Flip}}
+
+	raw, _ := faultmem.NewRawMemory(4, faults)
+	shuffled, _ := faultmem.NewShuffledMemory(5, 4, faults)
+
+	raw.Write(0, 1000)
+	shuffled.Write(0, 1000)
+	fmt.Println("raw:     ", int32(raw.Read(0)))
+	fmt.Println("shuffled:", int32(shuffled.Read(0)))
+	// Output:
+	// raw:      -2147482648
+	// shuffled: 1001
+}
+
+// The power-on self-test flow of the paper's Section 3: BIST locates the
+// faults and programs the FM-LUT.
+func ExampleRunBISTAndProgram() {
+	arr := faultmem.NewBitArray(64, 32)
+	_ = arr.SetFaults(faultmem.FaultMap{
+		{Row: 3, Col: 28, Kind: faultmem.StuckAt1},
+		{Row: 9, Col: 15, Kind: faultmem.Flip},
+	})
+
+	m, report, _ := faultmem.RunBISTAndProgram(faultmem.MarchCMinus(), arr, 5)
+	fmt.Println("detected:", len(report.Detected), "faults")
+
+	m.Write(3, 0)
+	fmt.Println("worst-case readback error:", m.Read(3))
+	// Output:
+	// detected: 2 faults
+	// worst-case readback error: 1
+}
+
+// Eq. (6) of the paper: the memory-local MSE quality function, per
+// protection scheme.
+func ExampleMSE() {
+	faults := faultmem.FaultMap{{Row: 0, Col: 31, Kind: faultmem.Flip}}
+	for _, scheme := range []string{"none", "pecc", "nfm1", "nfm5", "ecc"} {
+		mse, _ := faultmem.MSE(faults, faultmem.Rows16KB, scheme)
+		fmt.Printf("%-5s %.6g\n", scheme, mse)
+	}
+	// Output:
+	// none  1.1259e+15
+	// pecc  0
+	// nfm1  262144
+	// nfm5  0.000244141
+	// ecc   0
+}
+
+// The calibrated 28 nm cell model behind Fig. 2.
+func ExampleDefault28nmCellModel() {
+	model := faultmem.Default28nmCellModel()
+	fmt.Printf("Pcell(0.80V) ~ %.0e\n", model.Pcell(0.80))
+	fmt.Printf("VDD for Pcell=1e-3: %.2f V\n", model.VDDForPcell(1e-3))
+	// Output:
+	// Pcell(0.80V) ~ 2e-05
+	// VDD for Pcell=1e-3: 0.68 V
+}

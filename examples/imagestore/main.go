@@ -1,0 +1,115 @@
+// Imagestore: the multimedia motivation of priority-ECC, reproduced on
+// the bit-shuffling scheme — store an image in unreliable memory and
+// compare PSNR across protections.
+//
+// A synthetic grayscale image (smooth gradient plus shapes) is stored
+// pixel-per-word in a faulty 16 KB memory under each protection and read
+// back; the peak signal-to-noise ratio against the original quantifies
+// the damage. Unprotected storage lets single bit faults flip pixel
+// values by thousands of gray levels; bit-shuffling bounds each fault's
+// damage below one gray level at nFM=5.
+//
+//	go run ./examples/imagestore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"faultmem"
+)
+
+const (
+	width  = 64
+	height = 64
+)
+
+// synthImage renders a deterministic grayscale test card: a diagonal
+// gradient, a bright disc, and a dark box.
+func synthImage() []float64 {
+	img := make([]float64, width*height)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			v := 64 + 128*float64(x+y)/float64(width+height)
+			dx, dy := float64(x-20), float64(y-24)
+			if dx*dx+dy*dy < 120 {
+				v = 230
+			}
+			if x > 40 && x < 56 && y > 40 && y < 56 {
+				v = 25
+			}
+			img[y*width+x] = v
+		}
+	}
+	return img
+}
+
+// psnr computes the peak signal-to-noise ratio in dB for 8-bit dynamic
+// range.
+func psnr(ref, got []float64) float64 {
+	mse := 0.0
+	for i := range ref {
+		d := ref[i] - got[i]
+		mse += d * d
+	}
+	mse /= float64(len(ref))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+func main() {
+	const seed = 21
+	img := synthImage()
+
+	// A heavily degraded die: Pcell = 5e-3 (~655 failing cells) to make
+	// the PSNR differences vivid.
+	faults := faultmem.GenerateFaultsPcell(seed, faultmem.Rows16KB, 5e-3)
+	fmt.Printf("storing a %dx%d grayscale image through a 16KB memory with %d failing cells\n\n",
+		width, height, len(faults))
+
+	type arm struct {
+		name  string
+		build func() (faultmem.Memory, error)
+	}
+	arms := []arm{
+		{"no correction", func() (faultmem.Memory, error) { return faultmem.NewRawMemory(faultmem.Rows16KB, faults) }},
+		{"H(22,16) P-ECC", func() (faultmem.Memory, error) { return faultmem.NewPECCMemory(faultmem.Rows16KB, faults) }},
+		{"shuffle nFM=1", func() (faultmem.Memory, error) { return faultmem.NewShuffledMemory(1, faultmem.Rows16KB, faults) }},
+		{"shuffle nFM=3", func() (faultmem.Memory, error) { return faultmem.NewShuffledMemory(3, faultmem.Rows16KB, faults) }},
+		{"shuffle nFM=5", func() (faultmem.Memory, error) { return faultmem.NewShuffledMemory(5, faultmem.Rows16KB, faults) }},
+		{"H(39,32) ECC", func() (faultmem.Memory, error) { return faultmem.NewECCMemory(faultmem.Rows16KB, faults) }},
+	}
+
+	fmt.Printf("%-16s %-12s %-16s\n", "protection", "PSNR [dB]", "worst pixel err")
+	for _, a := range arms {
+		m, err := a.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := faultmem.RoundTripValues(m, img)
+		worst := 0.0
+		for i := range img {
+			if d := math.Abs(got[i] - img[i]); d > worst {
+				worst = d
+			}
+		}
+		p := psnr(img, got)
+		ps := fmt.Sprintf("%.1f", p)
+		if math.IsInf(p, 1) {
+			ps = "inf (exact)"
+		}
+		fmt.Printf("%-16s %-12s %-16.4f\n", a.name, ps, worst)
+	}
+
+	fmt.Println("\npixels are stored one per 32-bit word in Q16.16; an unprotected MSB")
+	fmt.Println("fault swings a pixel by +/-32768 gray levels, while nFM=5 shuffling")
+	fmt.Println("bounds every single-fault error below 2^-16 of a gray level.")
+	fmt.Println()
+	fmt.Println("note the density effect: at this Pcell many words hold TWO faulty")
+	fmt.Println("cells, which SECDED can only detect, not correct - so even full ECC")
+	fmt.Println("collapses, while fine-grained shuffling keeps every fault pinned to")
+	fmt.Println("low-significance bits and degrades gracefully.")
+}

@@ -1,0 +1,72 @@
+// Voltagescaling: how far can the supply scale before quality collapses?
+//
+// One die's per-cell critical voltages are sampled from the 28 nm cell
+// model; sweeping VDD downward grows the fault map monotonically (the
+// fault-inclusion property). At each point the memory-local MSE of
+// Eq. (6) is evaluated for the unprotected memory and the bit-shuffling
+// configurations, showing how many extra millivolts of scaling each nFM
+// buys under a fixed quality target — the paper's motivating trade-off
+// between power (VDD) and quality.
+//
+//	go run ./examples/voltagescaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"faultmem"
+)
+
+func main() {
+	const (
+		seed      = 3
+		rows      = faultmem.Rows16KB
+		mseTarget = 1e6 // the Section 4 quality criterion
+	)
+
+	model := faultmem.Default28nmCellModel()
+	die := faultmem.SampleDie(seed, rows, model)
+
+	schemes := []string{"none", "nfm1", "nfm2", "nfm3", "nfm4", "nfm5"}
+	lowestOK := map[string]float64{}
+
+	fmt.Printf("one 16KB die under VDD scaling (target: MSE < %.0e per Eq. 6)\n\n", mseTarget)
+	fmt.Printf("%-6s %-10s %-8s", "VDD", "Pcell", "faults")
+	for _, s := range schemes {
+		fmt.Printf(" %-10s", s)
+	}
+	fmt.Println()
+
+	for v := 0.82; v >= 0.60-1e-9; v -= 0.02 {
+		faults := die.AtVDD(v, faultmem.Flip)
+		fmt.Printf("%-6.2f %-10.2e %-8d", v, model.Pcell(v), len(faults))
+		for _, s := range schemes {
+			mse, err := faultmem.MSE(faults, rows, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			status := " "
+			if mse < mseTarget {
+				status = "*"
+				if cur, ok := lowestOK[s]; !ok || v < cur {
+					lowestOK[s] = v
+				}
+			}
+			fmt.Printf(" %-9.2e%s", mse, status)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n(* = meets the MSE target)")
+	fmt.Println("\nlowest VDD meeting the target on this die:")
+	for _, s := range schemes {
+		if v, ok := lowestOK[s]; ok {
+			fmt.Printf("  %-6s %.2f V\n", s, v)
+		} else {
+			fmt.Printf("  %-6s none in the swept range\n", s)
+		}
+	}
+	fmt.Println("\nlower usable VDD means quadratic dynamic-power savings; the shuffling")
+	fmt.Println("scheme keeps the die usable deeper into the failure regime (Section 6).")
+}

@@ -1,0 +1,227 @@
+// Package bist implements memory built-in self test: March algorithms
+// that walk a raw SRAM array to locate and classify faulty bit-cells, and
+// the glue that programs a bit-shuffling FM-LUT from the result (§3,
+// step 1: "the location of the faulty cell in each row/word is detected
+// during BIST and a shifting value is recorded in the FM-LUT").
+//
+// The March tests operate word-wise with solid backgrounds (all-0 /
+// all-1), which detects and fully classifies the fault kinds modeled by
+// internal/sram (stuck-at-0, stuck-at-1, and read-flip faults). Coupling
+// faults are outside the fault model of this reproduction.
+package bist
+
+import (
+	"fmt"
+
+	"faultmem/internal/core"
+	"faultmem/internal/fault"
+	"faultmem/internal/sram"
+)
+
+// Op is one March operation applied at each address of an element.
+type Op uint8
+
+const (
+	// W0 writes the all-zeros background.
+	W0 Op = iota
+	// W1 writes the all-ones background.
+	W1
+	// R0 reads and expects the all-zeros background.
+	R0
+	// R1 reads and expects the all-ones background.
+	R1
+)
+
+// String returns the conventional March notation of the operation.
+func (o Op) String() string {
+	switch o {
+	case W0:
+		return "w0"
+	case W1:
+		return "w1"
+	case R0:
+		return "r0"
+	case R1:
+		return "r1"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Order is the address sweep direction of a March element.
+type Order uint8
+
+const (
+	// Up sweeps addresses ascending (⇑).
+	Up Order = iota
+	// Down sweeps addresses descending (⇓).
+	Down
+	// Any means the direction is irrelevant (⇕); implemented ascending.
+	Any
+)
+
+// Element is one March element: a sweep order and the operations applied
+// at every address before moving on.
+type Element struct {
+	Order Order
+	Ops   []Op
+}
+
+// Algorithm is a complete March test.
+type Algorithm struct {
+	Name     string
+	Elements []Element
+}
+
+// Complexity returns the operation count per address (the conventional
+// "xN" cost of a March test).
+func (a Algorithm) Complexity() int {
+	n := 0
+	for _, e := range a.Elements {
+		n += len(e.Ops)
+	}
+	return n
+}
+
+// ZeroOne returns the 4N zero-one (MSCAN) test:
+// {⇕(w0); ⇕(r0); ⇕(w1); ⇕(r1)}. It detects stuck-at and read-flip
+// faults but has no address-order structure.
+func ZeroOne() Algorithm {
+	return Algorithm{Name: "Zero-One", Elements: []Element{
+		{Any, []Op{W0}},
+		{Any, []Op{R0}},
+		{Any, []Op{W1}},
+		{Any, []Op{R1}},
+	}}
+}
+
+// MATSPlus returns the 5N MATS+ test: {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}.
+func MATSPlus() Algorithm {
+	return Algorithm{Name: "MATS+", Elements: []Element{
+		{Any, []Op{W0}},
+		{Up, []Op{R0, W1}},
+		{Down, []Op{R1, W0}},
+	}}
+}
+
+// MarchCMinus returns the 10N March C- test:
+// {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}.
+func MarchCMinus() Algorithm {
+	return Algorithm{Name: "March C-", Elements: []Element{
+		{Any, []Op{W0}},
+		{Up, []Op{R0, W1}},
+		{Up, []Op{R1, W0}},
+		{Down, []Op{R0, W1}},
+		{Down, []Op{R1, W0}},
+		{Any, []Op{R0}},
+	}}
+}
+
+// MarchB returns the 17N March B test:
+// {⇕(w0); ⇑(r0,w1,r1,w1,r1,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}.
+func MarchB() Algorithm {
+	return Algorithm{Name: "March B", Elements: []Element{
+		{Any, []Op{W0}},
+		{Up, []Op{R0, W1, R1, W1, R1, W1}},
+		{Up, []Op{R1, W0, W1}},
+		{Down, []Op{R1, W0, W1, W0}},
+		{Down, []Op{R0, W1, W0}},
+	}}
+}
+
+// Report is the outcome of a BIST run.
+type Report struct {
+	Algorithm string
+	// Detected is the classified fault map (kinds inferred from the
+	// observed misread pattern).
+	Detected fault.Map
+	// Operations is the total number of word accesses performed.
+	Operations int
+}
+
+// Run executes the March algorithm on the array and returns the detected,
+// classified fault map. The array's contents are destroyed (BIST runs at
+// power-on/test time, before the memory holds live data).
+func Run(alg Algorithm, arr *sram.Array) Report {
+	rows, width := arr.Rows(), arr.Width()
+	ones := (uint64(1) << uint(width)) - 1
+	// misread[cell] bit0: read 1 where 0 expected; bit1: read 0 where 1
+	// expected.
+	misread := make([]uint8, rows*width)
+	ops := 0
+
+	for _, el := range alg.Elements {
+		for i := 0; i < rows; i++ {
+			addr := i
+			if el.Order == Down {
+				addr = rows - 1 - i
+			}
+			for _, op := range el.Ops {
+				ops++
+				switch op {
+				case W0:
+					arr.Write(addr, 0)
+				case W1:
+					arr.Write(addr, ones)
+				case R0:
+					got := arr.Read(addr)
+					for diff := got; diff != 0; diff &= diff - 1 {
+						col := trailingZeros(diff)
+						misread[addr*width+col] |= 1
+					}
+				case R1:
+					got := arr.Read(addr)
+					for diff := (^got) & ones; diff != 0; diff &= diff - 1 {
+						col := trailingZeros(diff)
+						misread[addr*width+col] |= 2
+					}
+				}
+			}
+		}
+	}
+
+	var detected fault.Map
+	for cell, m := range misread {
+		if m == 0 {
+			continue
+		}
+		var kind fault.Kind
+		switch m {
+		case 1:
+			kind = fault.StuckAt1 // reads 1 when 0 expected, 1s fine
+		case 2:
+			kind = fault.StuckAt0 // reads 0 when 1 expected, 0s fine
+		default:
+			kind = fault.Flip // misreads both backgrounds
+		}
+		detected = append(detected, fault.Fault{
+			Row: cell / width, Col: cell % width, Kind: kind,
+		})
+	}
+	return Report{Algorithm: alg.Name, Detected: detected, Operations: ops}
+}
+
+func trailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// ProgramFMLUT runs the algorithm on the array and programs a fresh
+// FM-LUT for the given shuffling configuration from the detected faults:
+// the full power-on self-test flow of §3. The returned LUT can be paired
+// with the array via core.NewShuffledWithLUT.
+func ProgramFMLUT(alg Algorithm, arr *sram.Array, cfg core.Config) (*core.FMLUT, Report, error) {
+	if arr.Width() != cfg.Width {
+		return nil, Report{}, fmt.Errorf("bist: array width %d != config width %d", arr.Width(), cfg.Width)
+	}
+	rep := Run(alg, arr)
+	lut, err := core.BuildFMLUT(cfg, arr.Rows(), rep.Detected)
+	if err != nil {
+		return nil, rep, err
+	}
+	return lut, rep, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"faultmem/internal/fault"
+)
+
+// FMLUT is the fault-map look-up table: one nFM-bit entry per memory row
+// recording the segment index of the row's faulty cell(s) (Fig. 3). In
+// hardware it occupies nFM extra bit columns of the array (or a register
+// file / CAM, see §5.1); functionally it is a small array of shift codes
+// programmed by BIST.
+type FMLUT struct {
+	cfg Config
+	x   []uint8
+}
+
+// NewFMLUT returns an all-zero (no shift) FM-LUT for the given row count.
+func NewFMLUT(cfg Config, rows int) *FMLUT {
+	cfg.mustValidate()
+	if rows <= 0 {
+		panic(fmt.Sprintf("core: invalid row count %d", rows))
+	}
+	return &FMLUT{cfg: cfg, x: make([]uint8, rows)}
+}
+
+// BuildFMLUT constructs the FM-LUT for a fault map in data geometry
+// (rows x Width), choosing the best entry for every faulty row. This is
+// the functional equivalent of running BIST and programming the table
+// (§3, step 1).
+func BuildFMLUT(cfg Config, rows int, faults fault.Map) (*FMLUT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := faults.Validate(rows, cfg.Width); err != nil {
+		return nil, fmt.Errorf("core: bad fault map: %w", err)
+	}
+	l := NewFMLUT(cfg, rows)
+	for row, cols := range faults.ByRow() {
+		x, _ := cfg.BestX(cols)
+		l.x[row] = uint8(x)
+	}
+	return l, nil
+}
+
+// Config returns the shuffling configuration of the table.
+func (l *FMLUT) Config() Config { return l.cfg }
+
+// Rows returns the number of entries.
+func (l *FMLUT) Rows() int { return len(l.x) }
+
+// X returns the entry of the given row.
+func (l *FMLUT) X(row int) int {
+	l.check(row)
+	return int(l.x[row])
+}
+
+// SetX programs the entry of the given row; the BIST flow uses this.
+func (l *FMLUT) SetX(row, x int) {
+	l.check(row)
+	if x < 0 || x >= l.cfg.NumSegments() {
+		panic(fmt.Sprintf("core: xFM %d outside [0,%d)", x, l.cfg.NumSegments()))
+	}
+	l.x[row] = uint8(x)
+}
+
+// Shift returns the rotation amount T(row) of Eq. (2).
+func (l *FMLUT) Shift(row int) int {
+	return l.cfg.ShiftForX(l.X(row))
+}
+
+func (l *FMLUT) check(row int) {
+	if row < 0 || row >= len(l.x) {
+		panic(fmt.Sprintf("core: FM-LUT row %d outside [0,%d)", row, len(l.x)))
+	}
+}
+
+// StorageBits returns the total FM-LUT storage in bits (rows * nFM), the
+// quantity the overhead model charges as extra columns.
+func (l *FMLUT) StorageBits() int { return len(l.x) * l.cfg.NFM }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"faultmem/internal/fault"
+	"faultmem/internal/mem"
+	"faultmem/internal/sram"
+)
+
+// Shuffled is a faulty memory protected by the bit-shuffling scheme: the
+// complete datapath of Fig. 3. It implements mem.Word32 for Width == 32.
+//
+// The FM-LUT itself is modeled fault-free, matching the paper's analysis
+// (the LUT columns can be built from robust cells or a register file,
+// §5.1); the overhead model in internal/hw charges for its area, power,
+// and the read-path shifter delay.
+type Shuffled struct {
+	cfg Config
+	arr *sram.Array
+	lut *FMLUT
+}
+
+// NewShuffled builds a bit-shuffling memory over rows words of cfg.Width
+// bits with the given data-geometry fault map. The FM-LUT is programmed
+// from the fault map as BIST would (§3: fault locations are detected
+// during BIST and the shifting value recorded for each row).
+func NewShuffled(cfg Config, rows int, faults fault.Map) (*Shuffled, error) {
+	lut, err := BuildFMLUT(cfg, rows, faults)
+	if err != nil {
+		return nil, err
+	}
+	arr := sram.NewArray(rows, cfg.Width)
+	if err := arr.SetFaults(faults); err != nil {
+		return nil, err
+	}
+	return &Shuffled{cfg: cfg, arr: arr, lut: lut}, nil
+}
+
+// NewShuffledWithLUT builds the memory with an externally programmed
+// FM-LUT (the cmd/bistscan flow: BIST discovers faults, programs the
+// table, then the datapath uses it). The array's faults and the LUT are
+// the caller's responsibility to keep consistent.
+func NewShuffledWithLUT(arr *sram.Array, lut *FMLUT) (*Shuffled, error) {
+	cfg := lut.Config()
+	if arr.Width() != cfg.Width {
+		return nil, fmt.Errorf("core: array width %d != config width %d", arr.Width(), cfg.Width)
+	}
+	if arr.Rows() != lut.Rows() {
+		return nil, fmt.Errorf("core: array rows %d != FM-LUT rows %d", arr.Rows(), lut.Rows())
+	}
+	return &Shuffled{cfg: cfg, arr: arr, lut: lut}, nil
+}
+
+// Read fetches the word at addr: raw read, then left-circular shift by
+// T(addr) to restore the original bit order.
+func (s *Shuffled) Read(addr int) uint32 {
+	t := s.lut.Shift(addr)
+	return uint32(s.cfg.RotateRead(s.arr.Read(addr), t))
+}
+
+// Write stores v at addr: right-circular shift by T(addr) so the least
+// significant segment lands on the faulty cells, then raw write.
+func (s *Shuffled) Write(addr int, v uint32) {
+	t := s.lut.Shift(addr)
+	s.arr.Write(addr, s.cfg.RotateWrite(uint64(v), t))
+}
+
+// ReadWide and WriteWide are the width-generic accessors (for Width != 32
+// configurations used in the word-width ablation).
+func (s *Shuffled) ReadWide(addr int) uint64 {
+	t := s.lut.Shift(addr)
+	return s.cfg.RotateRead(s.arr.Read(addr), t)
+}
+
+// WriteWide stores the low Width bits of v at addr.
+func (s *Shuffled) WriteWide(addr int, v uint64) {
+	t := s.lut.Shift(addr)
+	s.arr.Write(addr, s.cfg.RotateWrite(v, t))
+}
+
+// Words returns the address space size.
+func (s *Shuffled) Words() int { return s.arr.Rows() }
+
+// LUT returns the fault-map look-up table.
+func (s *Shuffled) LUT() *FMLUT { return s.lut }
+
+// Array returns the underlying bit-cell array.
+func (s *Shuffled) Array() *sram.Array { return s.arr }
+
+// Config returns the shuffling configuration.
+func (s *Shuffled) Config() Config { return s.cfg }
+
+// Faults returns the installed fault map (data geometry).
+func (s *Shuffled) Faults() fault.Map { return s.arr.Faults() }
+
+var _ mem.Word32 = (*Shuffled)(nil)

@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"faultmem/internal/mat"
+)
+
+func TestWineShapeAndRanges(t *testing.T) {
+	d := Wine(1)
+	if d.Samples() != 1599 || d.Features() != 11 {
+		t.Fatalf("wine is %dx%d, want 1599x11", d.Samples(), d.Features())
+	}
+	if d.Task != Regression {
+		t.Error("wine should be regression")
+	}
+	for i := 0; i < d.Samples(); i++ {
+		q := d.Y[i]
+		if q < 3 || q > 8 || q != math.Trunc(q) {
+			t.Fatalf("sample %d quality %g outside integer [3,8]", i, q)
+		}
+	}
+	// Alcohol column (10) must stay within physical limits.
+	for _, v := range d.X.Col(10) {
+		if v < 8 || v > 15 {
+			t.Fatalf("alcohol %g out of range", v)
+		}
+	}
+}
+
+func TestWineQualityCorrelatesWithAlcohol(t *testing.T) {
+	// The generator builds in a positive alcohol-quality relation (as in
+	// the real dataset); a destroyed relation would invalidate Fig. 7a.
+	d := Wine(2)
+	alcohol := d.X.Col(10)
+	corr := pearson(alcohol, d.Y)
+	if corr < 0.2 {
+		t.Errorf("alcohol-quality correlation %.3f, want clearly positive", corr)
+	}
+	// And volatile acidity (col 1) negative.
+	if c := pearson(d.X.Col(1), d.Y); c > -0.1 {
+		t.Errorf("volatile-quality correlation %.3f, want negative", c)
+	}
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestMadelonShape(t *testing.T) {
+	p := DefaultMadelon()
+	d := Madelon(3, p)
+	if d.Samples() != 2000 || d.Features() != 100 {
+		t.Fatalf("madelon is %dx%d, want 2000x100", d.Samples(), d.Features())
+	}
+	if d.Task != Classification {
+		t.Error("madelon should be classification")
+	}
+	pos, neg := 0, 0
+	for _, y := range d.Y {
+		switch y {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			t.Fatalf("label %g not in {-1,+1}", y)
+		}
+	}
+	// Balanced classes within sampling noise.
+	if math.Abs(float64(pos-neg)) > 0.15*float64(pos+neg) {
+		t.Errorf("class balance %d/%d", pos, neg)
+	}
+}
+
+func TestMadelonPaperGeometry(t *testing.T) {
+	d := Madelon(3, PaperMadelon())
+	if d.Features() != 500 {
+		t.Fatalf("paper madelon has %d features, want 500", d.Features())
+	}
+}
+
+func TestMadelonInformativeVarianceDominatesProbes(t *testing.T) {
+	// The informative/redundant block carries structured variance; the
+	// probes are unit noise. Column variances must reflect that, or PCA's
+	// explained variance (Fig. 7b) has no signal to lose.
+	d := Madelon(5, DefaultMadelon())
+	sd := mat.ColStds(d.X)
+	for j := 0; j < 5; j++ {
+		if sd[j] < 1.2 {
+			t.Errorf("informative col %d std %.2f, want > 1.2", j, sd[j])
+		}
+	}
+	for j := 20; j < 100; j++ {
+		if sd[j] > 1.3 {
+			t.Errorf("probe col %d std %.2f, want ~1", j, sd[j])
+		}
+	}
+}
+
+func TestHARShapeAndLabels(t *testing.T) {
+	d := HAR(7, DefaultHAR())
+	if d.Samples() != 1500 || d.Features() != harFeatures {
+		t.Fatalf("har is %dx%d, want 1500x%d", d.Samples(), d.Features(), harFeatures)
+	}
+	counts := map[float64]int{}
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	if len(counts) != numActivities {
+		t.Fatalf("%d classes, want %d", len(counts), numActivities)
+	}
+	for label, c := range counts {
+		if c != 300 {
+			t.Errorf("class %g has %d windows, want 300", label, c)
+		}
+	}
+}
+
+func TestHARClassesSeparable(t *testing.T) {
+	// Standing and stairs-down must differ strongly in dynamic intensity
+	// (std features) or KNN cannot reach its clean score.
+	d := HAR(7, DefaultHAR())
+	meanStd := func(label float64) float64 {
+		s, n := 0.0, 0
+		for i := 0; i < d.Samples(); i++ {
+			if d.Y[i] == label {
+				s += d.X.At(i, 4) // std of y-axis
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	still := meanStd(float64(ActStanding))
+	stairs := meanStd(float64(ActStairsDown))
+	if stairs < 3*still {
+		t.Errorf("stairs std %.2f not well above standing %.2f", stairs, still)
+	}
+}
+
+func TestActivityNames(t *testing.T) {
+	if ActivityName(ActWalking) != "walking" || ActivityName(99) != "unknown" {
+		t.Error("activity names wrong")
+	}
+}
+
+func TestSplitProperties(t *testing.T) {
+	d := Wine(1)
+	train, test := d.Split(0.8, 42)
+	if train.Samples()+test.Samples() != d.Samples() {
+		t.Fatal("split loses samples")
+	}
+	want := int(0.8 * float64(d.Samples()))
+	if train.Samples() != want {
+		t.Errorf("train size %d, want %d", train.Samples(), want)
+	}
+	if train.Features() != d.Features() || test.Features() != d.Features() {
+		t.Error("split changed feature count")
+	}
+	// Determinism.
+	tr2, _ := d.Split(0.8, 42)
+	for i := 0; i < 10; i++ {
+		if tr2.Y[i] != train.Y[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+	// Different seed shuffles differently.
+	tr3, _ := d.Split(0.8, 43)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if tr3.Y[i] == train.Y[i] {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Error("different seeds produced identical splits")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := Wine(9), Wine(9)
+	for i := 0; i < 20; i++ {
+		if a.Y[i] != b.Y[i] || a.X.At(i, 0) != b.X.At(i, 0) {
+			t.Fatal("Wine not deterministic")
+		}
+	}
+	ha, hb := HAR(9, DefaultHAR()), HAR(9, DefaultHAR())
+	for i := 0; i < 20; i++ {
+		if ha.X.At(i, 3) != hb.X.At(i, 3) {
+			t.Fatal("HAR not deterministic")
+		}
+	}
+	ma, mb := Madelon(9, DefaultMadelon()), Madelon(9, DefaultMadelon())
+	for i := 0; i < 20; i++ {
+		if ma.Y[i] != mb.Y[i] {
+			t.Fatal("Madelon not deterministic")
+		}
+	}
+}
+
+func TestWithData(t *testing.T) {
+	d := Wine(1)
+	x2 := mat.NewDense(4, 11)
+	y2 := []float64{5, 6, 5, 7}
+	nd := d.WithData(x2, y2)
+	if nd.Samples() != 4 || nd.Task != Regression || nd.Name != d.Name {
+		t.Error("WithData metadata wrong")
+	}
+}

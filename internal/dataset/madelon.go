@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"fmt"
+
+	"faultmem/internal/mat"
+	"faultmem/internal/stats"
+)
+
+// MadelonParams sizes the Madelon-like generator. The NIPS 2003 original
+// [19] has 5 informative dimensions forming 32 Gaussian clusters on the
+// vertices of a 5-dimensional hypercube, 15 redundant features (random
+// linear combinations of the informative ones), and 480 useless "probe"
+// features, for 500 features over 2000 training samples.
+type MadelonParams struct {
+	Samples     int
+	Informative int
+	Redundant   int
+	Probes      int
+	ClusterStd  float64
+}
+
+// DefaultMadelon returns the laptop-scale default: the full informative
+// and redundant structure with 80 probes (100 features total). Pass
+// PaperMadelon for the original 500-feature geometry.
+func DefaultMadelon() MadelonParams {
+	return MadelonParams{Samples: 2000, Informative: 5, Redundant: 15, Probes: 80, ClusterStd: 1.0}
+}
+
+// PaperMadelon returns the original NIPS 2003 dimensions (500 features).
+func PaperMadelon() MadelonParams {
+	p := DefaultMadelon()
+	p.Probes = 480
+	return p
+}
+
+// Madelon generates the feature-selection dataset: binary labels (+1/-1)
+// assigned to hypercube clusters in the informative subspace (an
+// XOR-like, non-linearly-separable problem), plus redundant and probe
+// features. PCA's explained variance on this set concentrates in the
+// informative+redundant subspace, which is what Fig. 7b measures under
+// memory faults.
+func Madelon(seed int64, p MadelonParams) *Dataset {
+	if p.Informative < 1 || p.Samples < 4 || p.Redundant < 0 || p.Probes < 0 {
+		panic(fmt.Sprintf("dataset: bad Madelon params %+v", p))
+	}
+	rng := stats.NewRand(seed)
+	dims := p.Informative + p.Redundant + p.Probes
+	d := &Dataset{
+		Name: "madelon",
+		Task: Classification,
+		X:    mat.NewDense(p.Samples, dims),
+		Y:    make([]float64, p.Samples),
+	}
+
+	// Hypercube cluster centers and their class assignment (balanced).
+	nClusters := 1 << uint(p.Informative)
+	labels := make([]float64, nClusters)
+	for i := range labels {
+		if i%2 == 0 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	rng.Shuffle(nClusters, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+
+	// Random mixing matrix for the redundant features.
+	mix := mat.NewDense(maxInt(p.Redundant, 1), p.Informative)
+	for i := 0; i < p.Redundant; i++ {
+		for j := 0; j < p.Informative; j++ {
+			mix.Set(i, j, rng.NormFloat64())
+		}
+	}
+
+	const centerScale = 2.0
+	for s := 0; s < p.Samples; s++ {
+		cl := rng.Intn(nClusters)
+		d.Y[s] = labels[cl]
+		inf := make([]float64, p.Informative)
+		for j := 0; j < p.Informative; j++ {
+			sign := -1.0
+			if cl&(1<<uint(j)) != 0 {
+				sign = 1.0
+			}
+			inf[j] = sign*centerScale + rng.NormFloat64()*p.ClusterStd
+			d.X.Set(s, j, inf[j])
+		}
+		for r := 0; r < p.Redundant; r++ {
+			v := 0.0
+			for j := 0; j < p.Informative; j++ {
+				v += mix.At(r, j) * inf[j]
+			}
+			d.X.Set(s, p.Informative+r, v+rng.NormFloat64()*0.1)
+		}
+		for q := 0; q < p.Probes; q++ {
+			d.X.Set(s, p.Informative+p.Redundant+q, rng.NormFloat64())
+		}
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+// Package ecc implements single-error-correction / double-error-detection
+// (SECDED) extended Hamming codes for arbitrary data widths up to 57 bits,
+// including the two codes the paper evaluates: H(39,32) for full-word ECC
+// and H(22,16) for priority-based ECC on the 16 most significant bits.
+//
+// Codewords are uint64 values. Bit 0 of a codeword is the overall parity
+// bit; bits 1..k+r follow the classic Hamming layout in which parity bits
+// occupy the power-of-two positions and data bits fill the remaining
+// positions in ascending order (data bit 0 = LSB of the datum at the first
+// non-power-of-two position).
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Status classifies the outcome of a decode.
+type Status uint8
+
+const (
+	// OK means the codeword was error-free.
+	OK Status = iota
+	// Corrected means exactly one bit error was detected and corrected
+	// (it may have been a parity bit, in which case the data was already
+	// intact).
+	Corrected
+	// DetectedUncorrectable means a double (or detectable multi-bit) error
+	// was found; the returned data is the raw, possibly corrupted payload.
+	DetectedUncorrectable
+)
+
+// String returns a short name for the decode status.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case DetectedUncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Code is a SECDED extended Hamming code for k data bits.
+type Code struct {
+	k, r, n   int   // data bits, Hamming parity bits, total bits (k+r+1)
+	dataPos   []int // codeword position of each data bit, LSB-first
+	parityPos []int // codeword position of Hamming parity bit i (= 1<<i)
+}
+
+// New constructs the SECDED code for k data bits: r parity bits with
+// 2^r >= k+r+1, plus one overall parity bit, for a total of k+r+1 bits.
+// k must be in [1, 57] so the codeword fits a uint64.
+func New(k int) (*Code, error) {
+	if k < 1 || k > 57 {
+		return nil, fmt.Errorf("ecc: data width %d outside [1,57]", k)
+	}
+	r := 0
+	for (1 << uint(r)) < k+r+1 {
+		r++
+	}
+	c := &Code{k: k, r: r, n: k + r + 1}
+	for i := 0; i < r; i++ {
+		c.parityPos = append(c.parityPos, 1<<uint(i))
+	}
+	for p := 1; p <= k+r; p++ {
+		if p&(p-1) != 0 { // not a power of two -> data position
+			c.dataPos = append(c.dataPos, p)
+		}
+	}
+	if len(c.dataPos) != k {
+		return nil, fmt.Errorf("ecc: internal layout error for k=%d", k)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for the package presets.
+func MustNew(k int) *Code {
+	c, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// H39_32 returns the H(39,32) SECDED code used for full 32-bit words
+// (7 check bits: 6 Hamming + 1 overall parity).
+func H39_32() *Code { return MustNew(32) }
+
+// H22_16 returns the H(22,16) SECDED code used by priority-based ECC on
+// the upper 16 bits of a word (6 check bits: 5 Hamming + 1 overall).
+func H22_16() *Code { return MustNew(16) }
+
+// H13_8 returns the H(13,8) SECDED code for byte-wide data.
+func H13_8() *Code { return MustNew(8) }
+
+// DataBits returns k, the payload width.
+func (c *Code) DataBits() int { return c.k }
+
+// ParityBits returns the total number of check bits (r Hamming + 1
+// overall), i.e. the storage overhead per word.
+func (c *Code) ParityBits() int { return c.r + 1 }
+
+// CodewordBits returns n = k + r + 1.
+func (c *Code) CodewordBits() int { return c.n }
+
+// Name returns the conventional H(n,k) name, e.g. "H(39,32)".
+func (c *Code) Name() string { return fmt.Sprintf("H(%d,%d)", c.n, c.k) }
+
+// Encode maps a k-bit datum to its n-bit codeword.
+func (c *Code) Encode(data uint64) uint64 {
+	data &= (uint64(1) << uint(c.k)) - 1
+	var cw uint64
+	for i, p := range c.dataPos {
+		cw |= ((data >> uint(i)) & 1) << uint(p)
+	}
+	// Hamming parity bits: parity over all positions with bit i set.
+	for i, pp := range c.parityPos {
+		var par uint64
+		for p := 1; p <= c.k+c.r; p++ {
+			if p&(1<<uint(i)) != 0 {
+				par ^= (cw >> uint(p)) & 1
+			}
+		}
+		cw |= par << uint(pp)
+	}
+	// Overall parity over bits 1..k+r, stored at bit 0 so the whole
+	// codeword has even parity.
+	cw |= uint64(bits.OnesCount64(cw)&1) << 0
+	return cw
+}
+
+// Decode checks and corrects an n-bit codeword, returning the recovered
+// datum, the decode status, and for Corrected the codeword bit position
+// that was repaired (-1 otherwise).
+func (c *Code) Decode(cw uint64) (data uint64, st Status, fixedPos int) {
+	cw &= (uint64(1) << uint(c.n)) - 1
+	// Syndrome: XOR of the positions of all set bits in the Hamming part.
+	syn := 0
+	for p := 1; p <= c.k+c.r; p++ {
+		if (cw>>uint(p))&1 != 0 {
+			syn ^= p
+		}
+	}
+	overall := bits.OnesCount64(cw) & 1 // 0 if even parity holds
+
+	fixedPos = -1
+	switch {
+	case syn == 0 && overall == 0:
+		st = OK
+	case syn == 0 && overall == 1:
+		// The overall parity bit itself flipped.
+		cw ^= 1
+		st, fixedPos = Corrected, 0
+	case syn != 0 && overall == 1:
+		if syn > c.k+c.r {
+			// Syndrome points outside the codeword: multi-bit error.
+			st = DetectedUncorrectable
+		} else {
+			cw ^= uint64(1) << uint(syn)
+			st, fixedPos = Corrected, syn
+		}
+	default: // syn != 0 && overall == 0
+		st = DetectedUncorrectable
+	}
+
+	for i, p := range c.dataPos {
+		data |= ((cw >> uint(p)) & 1) << uint(i)
+	}
+	return data, st, fixedPos
+}
+
+// ExtractData returns the raw payload bits of a codeword without any
+// checking, used to model the no-time-to-correct bypass path and
+// uncorrectable-error fallback.
+func (c *Code) ExtractData(cw uint64) uint64 {
+	var data uint64
+	for i, p := range c.dataPos {
+		data |= ((cw >> uint(p)) & 1) << uint(i)
+	}
+	return data
+}
+
+// DataPositions returns a copy of the codeword positions of the data bits
+// (index = data bit, value = codeword position). The hardware overhead
+// model uses this to size the encoder XOR trees.
+func (c *Code) DataPositions() []int {
+	return append([]int(nil), c.dataPos...)
+}
+
+// ParityFanIn returns, for each of the r Hamming parity bits, the number
+// of data bits it covers, and the fan-in of the overall parity (all
+// k+r bits). These set the XOR-tree sizes in the synthesis model.
+func (c *Code) ParityFanIn() (hamming []int, overall int) {
+	hamming = make([]int, c.r)
+	for i := range hamming {
+		for _, p := range c.dataPos {
+			if p&(1<<uint(i)) != 0 {
+				hamming[i]++
+			}
+		}
+	}
+	return hamming, c.k + c.r
+}

@@ -1,0 +1,245 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodeParameters(t *testing.T) {
+	cases := []struct {
+		k, n, parity int
+		name         string
+	}{
+		{32, 39, 7, "H(39,32)"}, // the paper's full-word SECDED
+		{16, 22, 6, "H(22,16)"}, // the paper's P-ECC code
+		{8, 13, 5, "H(13,8)"},
+		{4, 8, 4, "H(8,4)"},
+		{1, 4, 3, "H(4,1)"},
+		{57, 64, 7, "H(64,57)"},
+	}
+	for _, c := range cases {
+		code := MustNew(c.k)
+		if code.CodewordBits() != c.n {
+			t.Errorf("k=%d: n=%d, want %d", c.k, code.CodewordBits(), c.n)
+		}
+		if code.ParityBits() != c.parity {
+			t.Errorf("k=%d: parity=%d, want %d", c.k, code.ParityBits(), c.parity)
+		}
+		if code.Name() != c.name {
+			t.Errorf("k=%d: name=%q, want %q", c.k, code.Name(), c.name)
+		}
+		if code.DataBits() != c.k {
+			t.Errorf("k=%d: DataBits=%d", c.k, code.DataBits())
+		}
+	}
+}
+
+func TestNewRejectsBadWidths(t *testing.T) {
+	for _, k := range []int{0, -1, 58, 64} {
+		if _, err := New(k); err == nil {
+			t.Errorf("New(%d) accepted", k)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if H39_32().Name() != "H(39,32)" || H22_16().Name() != "H(22,16)" || H13_8().Name() != "H(13,8)" {
+		t.Error("preset names wrong")
+	}
+}
+
+func TestEncodeDecodeCleanRoundTrip(t *testing.T) {
+	for _, k := range []int{8, 16, 32, 57} {
+		code := MustNew(k)
+		mask := (uint64(1) << uint(k)) - 1
+		f := func(v uint64) bool {
+			v &= mask
+			cw := code.Encode(v)
+			data, st, _ := code.Decode(cw)
+			return data == v && st == OK
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestCodewordHasEvenParity(t *testing.T) {
+	code := H39_32()
+	f := func(v uint64) bool {
+		cw := code.Encode(v)
+		pop := 0
+		for x := cw; x != 0; x &= x - 1 {
+			pop++
+		}
+		return pop%2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllSingleErrorsCorrected(t *testing.T) {
+	// Exhaustive over all error positions for both paper codes and a set
+	// of random payloads: every single-bit error must be corrected to the
+	// original datum.
+	rng := rand.New(rand.NewSource(2))
+	for _, code := range []*Code{H39_32(), H22_16(), H13_8()} {
+		mask := (uint64(1) << uint(code.DataBits())) - 1
+		for trial := 0; trial < 50; trial++ {
+			v := rng.Uint64() & mask
+			cw := code.Encode(v)
+			for pos := 0; pos < code.CodewordBits(); pos++ {
+				bad := cw ^ (uint64(1) << uint(pos))
+				data, st, fixed := code.Decode(bad)
+				if st != Corrected {
+					t.Fatalf("%s: single error at %d -> status %v", code.Name(), pos, st)
+				}
+				if data != v {
+					t.Fatalf("%s: single error at %d not corrected: got %#x want %#x",
+						code.Name(), pos, data, v)
+				}
+				if fixed != pos {
+					t.Fatalf("%s: fixed position %d, want %d", code.Name(), fixed, pos)
+				}
+			}
+		}
+	}
+}
+
+func TestAllDoubleErrorsDetected(t *testing.T) {
+	// Exhaustive over all C(n,2) double errors for both paper codes:
+	// SECDED must flag them as uncorrectable, never miscorrect silently.
+	rng := rand.New(rand.NewSource(3))
+	for _, code := range []*Code{H39_32(), H22_16()} {
+		mask := (uint64(1) << uint(code.DataBits())) - 1
+		n := code.CodewordBits()
+		for trial := 0; trial < 10; trial++ {
+			v := rng.Uint64() & mask
+			cw := code.Encode(v)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					bad := cw ^ (uint64(1) << uint(i)) ^ (uint64(1) << uint(j))
+					_, st, _ := code.Decode(bad)
+					if st != DetectedUncorrectable {
+						t.Fatalf("%s: double error (%d,%d) -> status %v",
+							code.Name(), i, j, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeStatusString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" ||
+		DetectedUncorrectable.String() != "uncorrectable" {
+		t.Error("status names wrong")
+	}
+	if Status(99).String() == "" {
+		t.Error("unknown status empty")
+	}
+}
+
+func TestExtractData(t *testing.T) {
+	code := H39_32()
+	f := func(v uint64) bool {
+		v &= 0xFFFFFFFF
+		return code.ExtractData(code.Encode(v)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeMasksHighBits(t *testing.T) {
+	code := H22_16()
+	a := code.Encode(0x12345) // 17 bits; bit 16 must be ignored
+	b := code.Encode(0x2345)  // low 16 bits only
+	if a != b {
+		t.Errorf("Encode did not mask payload: %#x vs %#x", a, b)
+	}
+}
+
+func TestParityFanIn(t *testing.T) {
+	code := H39_32()
+	hamming, overall := code.ParityFanIn()
+	if len(hamming) != 6 {
+		t.Fatalf("H(39,32) has %d Hamming parities, want 6", len(hamming))
+	}
+	if overall != 38 {
+		t.Errorf("overall fan-in %d, want 38", overall)
+	}
+	total := 0
+	for i, f := range hamming {
+		if f <= 0 {
+			t.Errorf("parity %d covers %d data bits", i, f)
+		}
+		total += f
+	}
+	// Every data position p contributes popcount(p) parity memberships;
+	// the sum over parities must equal the sum of popcounts of the 32
+	// data positions.
+	wantTotal := 0
+	for _, p := range code.DataPositions() {
+		for x := p; x != 0; x &= x - 1 {
+			wantTotal++
+		}
+	}
+	if total != wantTotal {
+		t.Errorf("fan-in total %d, want %d", total, wantTotal)
+	}
+}
+
+func TestDataPositionsAreNonPowersOfTwo(t *testing.T) {
+	for _, code := range []*Code{H39_32(), H22_16(), H13_8()} {
+		seen := map[int]bool{}
+		for _, p := range code.DataPositions() {
+			if p <= 0 || p&(p-1) == 0 {
+				t.Errorf("%s: data position %d is a parity slot", code.Name(), p)
+			}
+			if seen[p] {
+				t.Errorf("%s: duplicate data position %d", code.Name(), p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestTripleErrorsNeverReportOK(t *testing.T) {
+	// SECDED cannot reliably classify triple errors (some alias to
+	// "Corrected" at the wrong position), but it must never report a
+	// corrupted codeword as pristine OK.
+	rng := rand.New(rand.NewSource(4))
+	code := H39_32()
+	n := code.CodewordBits()
+	for trial := 0; trial < 3000; trial++ {
+		v := rng.Uint64() & 0xFFFFFFFF
+		cw := code.Encode(v)
+		i, j, k := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		if i == j || j == k || i == k {
+			continue
+		}
+		bad := cw ^ (uint64(1) << uint(i)) ^ (uint64(1) << uint(j)) ^ (uint64(1) << uint(k))
+		if _, st, _ := code.Decode(bad); st == OK {
+			t.Fatalf("triple error (%d,%d,%d) decoded as OK", i, j, k)
+		}
+	}
+}
+
+func BenchmarkEncode39_32(b *testing.B) {
+	code := H39_32()
+	for i := 0; i < b.N; i++ {
+		_ = code.Encode(uint64(i))
+	}
+}
+
+func BenchmarkDecode39_32(b *testing.B) {
+	code := H39_32()
+	cw := code.Encode(0xDEADBEEF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = code.Decode(cw ^ uint64(1)<<uint(i%39))
+	}
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"fmt"
+
+	"faultmem/internal/core"
+)
+
+// Fig4Row is one faulty bit position of Fig. 4: the log2 error magnitude
+// a single fault at that position inflicts on a 32-bit 2's-complement
+// word, for no correction and each FM size.
+type Fig4Row struct {
+	BitPosition  int
+	NoCorrection int    // log2 magnitude = the position itself
+	Shuffled     [5]int // index i = nFM=i+1
+}
+
+// Fig4 computes the error-magnitude profile for every faulty bit
+// position and all nFM options (Fig. 4 of the paper).
+func Fig4() []Fig4Row {
+	rows := make([]Fig4Row, 32)
+	for b := 0; b < 32; b++ {
+		r := Fig4Row{BitPosition: b, NoCorrection: b}
+		for nfm := 1; nfm <= 5; nfm++ {
+			cfg := core.Config{Width: 32, NFM: nfm}
+			r.Shuffled[nfm-1] = cfg.SingleFaultErrorExponent(b)
+		}
+		rows[b] = r
+	}
+	return rows
+}
+
+// Fig4Table renders the profile.
+func Fig4Table(rows []Fig4Row) *Table {
+	t := &Table{
+		Title: "Fig. 4 - error magnitude (log2) per faulty bit position, 32-bit 2's complement",
+		Header: []string{"bit", "no corr.",
+			"nFM=1 (S=16)", "nFM=2 (S=8)", "nFM=3 (S=4)", "nFM=4 (S=2)", "nFM=5 (S=1)"},
+		Notes: []string{
+			"cell (b, nFM) = log2 of the worst-case output error for a single fault at bit b: b mod S with S = 32/2^nFM (Eq. 1)",
+			"worst case per configuration is 2^(S-1), bounding the residual error (Section 3)",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.BitPosition),
+			fmt.Sprintf("%d", r.NoCorrection),
+			fmt.Sprintf("%d", r.Shuffled[0]),
+			fmt.Sprintf("%d", r.Shuffled[1]),
+			fmt.Sprintf("%d", r.Shuffled[2]),
+			fmt.Sprintf("%d", r.Shuffled[3]),
+			fmt.Sprintf("%d", r.Shuffled[4]),
+		)
+	}
+	return t
+}

@@ -1,0 +1,300 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"faultmem/internal/dataset"
+	"faultmem/internal/fault"
+	"faultmem/internal/mat"
+	"faultmem/internal/memstore"
+	"faultmem/internal/ml"
+	"faultmem/internal/stats"
+)
+
+// App selects a Fig. 7 benchmark application (Table 1).
+type App int
+
+const (
+	// AppElasticnet is the wine-quality regression benchmark (Fig. 7a).
+	AppElasticnet App = iota
+	// AppPCA is the Madelon dimensionality-reduction benchmark (Fig. 7b).
+	AppPCA
+	// AppKNN is the activity-recognition classification benchmark
+	// (Fig. 7c).
+	AppKNN
+)
+
+// String returns the benchmark name.
+func (a App) String() string {
+	switch a {
+	case AppElasticnet:
+		return "Elasticnet"
+	case AppPCA:
+		return "PCA"
+	case AppKNN:
+		return "KNN"
+	default:
+		return fmt.Sprintf("app(%d)", int(a))
+	}
+}
+
+// Metric returns the Table 1 quality metric name of the benchmark.
+func (a App) Metric() string {
+	switch a {
+	case AppElasticnet:
+		return "R^2"
+	case AppPCA:
+		return "Explained Variance"
+	case AppKNN:
+		return "Score"
+	default:
+		return "?"
+	}
+}
+
+// ParseApp maps a CLI name to the benchmark.
+func ParseApp(s string) (App, error) {
+	switch s {
+	case "elasticnet":
+		return AppElasticnet, nil
+	case "pca":
+		return AppPCA, nil
+	case "knn":
+		return AppKNN, nil
+	default:
+		return 0, fmt.Errorf("exp: unknown app %q (want elasticnet|pca|knn)", s)
+	}
+}
+
+// Fig7Params configures the application-quality Monte Carlo.
+type Fig7Params struct {
+	App App
+	// Rows is the memory macro depth (4096 = 16 KB); the training set is
+	// paged through this single macro, so its fault map touches every
+	// page (§5.2's "functional model of a 16KB memory").
+	Rows int
+	// Pcell is the bit-cell failure probability (the paper uses 1e-3 for
+	// Fig. 7).
+	Pcell float64
+	// Trials is the Monte-Carlo sample count per protection arm. The
+	// paper uses 500 samples per failure count; here each trial draws its
+	// failure count from the Binomial prior directly (equal-weight
+	// samples of the same mixture), so Trials plays the role of the total
+	// budget.
+	Trials int
+	// Seed drives everything: dataset generation, split, fault maps.
+	Seed int64
+	// MadelonPaperSize switches the PCA benchmark to the full 500-feature
+	// geometry (slow; default false uses 100 features).
+	MadelonPaperSize bool
+}
+
+// DefaultFig7Params returns the published memory setup with a
+// laptop-scale trial budget.
+func DefaultFig7Params(app App) Fig7Params {
+	return Fig7Params{App: app, Rows: 4096, Pcell: 1e-3, Trials: 60, Seed: 7}
+}
+
+// Fig7Arm is one protection scheme's quality sample.
+type Fig7Arm struct {
+	Scheme    Protection
+	Qualities []float64 // normalized to the fault-free metric, sorted ascending
+}
+
+// CDFAt returns the empirical Pr(quality <= q).
+func (a Fig7Arm) CDFAt(q float64) float64 {
+	i := sort.SearchFloat64s(a.Qualities, q)
+	for i < len(a.Qualities) && a.Qualities[i] <= q {
+		i++
+	}
+	return float64(i) / float64(len(a.Qualities))
+}
+
+// QualityAtYield returns the quality floor guaranteed with probability
+// 1-level: the level-quantile of the quality sample.
+func (a Fig7Arm) QualityAtYield(level float64) float64 {
+	if len(a.Qualities) == 0 {
+		panic("exp: empty arm")
+	}
+	idx := int(level * float64(len(a.Qualities)))
+	if idx >= len(a.Qualities) {
+		idx = len(a.Qualities) - 1
+	}
+	return a.Qualities[idx]
+}
+
+// Mean returns the average normalized quality.
+func (a Fig7Arm) Mean() float64 { return stats.Mean(a.Qualities) }
+
+// Fig7Result bundles the benchmark run.
+type Fig7Result struct {
+	Params      Fig7Params
+	CleanMetric float64
+	Arms        []Fig7Arm
+	// ECCReference notes that H(39,32) ECC is the quality-1.0 reference
+	// line (§5.2: samples with more than one error per word are
+	// discarded so ECC is error-free).
+	ECCReference float64
+}
+
+// fig7Workload holds the prepared data and model-evaluation closure.
+type fig7Workload struct {
+	train, test *dataset.Dataset
+	clean       float64
+	evaluate    func(x *mat.Dense, y []float64) float64
+}
+
+// prepare builds the dataset, the 0.8:0.2 split, and the fault-free
+// reference metric for the benchmark.
+func (p Fig7Params) prepare() (*fig7Workload, error) {
+	var ds *dataset.Dataset
+	switch p.App {
+	case AppElasticnet:
+		ds = dataset.Wine(p.Seed)
+	case AppPCA:
+		mp := dataset.DefaultMadelon()
+		if p.MadelonPaperSize {
+			mp = dataset.PaperMadelon()
+		}
+		ds = dataset.Madelon(p.Seed, mp)
+	case AppKNN:
+		ds = dataset.HAR(p.Seed, dataset.DefaultHAR())
+	default:
+		return nil, fmt.Errorf("exp: unknown app %v", p.App)
+	}
+	train, test := ds.Split(0.8, p.Seed+1)
+
+	w := &fig7Workload{train: train, test: test}
+	switch p.App {
+	case AppElasticnet:
+		w.evaluate = func(x *mat.Dense, y []float64) float64 {
+			en := ml.NewElasticNet()
+			if err := en.Fit(x, y); err != nil {
+				return 0
+			}
+			return en.Score(test.X, test.Y)
+		}
+	case AppPCA:
+		k := 10
+		w.evaluate = func(x *mat.Dense, _ []float64) float64 {
+			pca := ml.NewPCA(k)
+			if err := pca.Fit(x); err != nil {
+				return 0
+			}
+			return pca.ExplainedVarianceOn(test.X)
+		}
+	case AppKNN:
+		w.evaluate = func(x *mat.Dense, y []float64) float64 {
+			knn := ml.NewKNN(5)
+			if err := knn.Fit(x, y); err != nil {
+				return 0
+			}
+			return knn.Score(test.X, test.Y)
+		}
+	}
+	w.clean = w.evaluate(train.X, train.Y)
+	if w.clean <= 0 {
+		return nil, fmt.Errorf("exp: fault-free %v metric %g is not positive", p.App, w.clean)
+	}
+	return w, nil
+}
+
+// Fig7Arms returns the protection arms plotted in Fig. 7: no protection,
+// P-ECC, and bit-shuffling with nFM=1 and nFM=2 (higher nFM curves sit on
+// top of nFM=2, §5.2).
+func Fig7Arms() []Protection {
+	return []Protection{ProtNone, ProtPECC, ProtShuffle1, ProtShuffle2}
+}
+
+// Fig7 runs the Monte-Carlo quality experiment for every arm.
+func Fig7(p Fig7Params) (Fig7Result, error) {
+	if p.Trials < 1 || p.Rows < 1 || p.Pcell <= 0 || p.Pcell >= 1 {
+		return Fig7Result{}, fmt.Errorf("exp: bad Fig7 params %+v", p)
+	}
+	w, err := p.prepare()
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	res := Fig7Result{Params: p, CleanMetric: w.clean, ECCReference: 1.0}
+	codec := memstore.DefaultCodec()
+	cells := p.Rows * 32
+
+	for armIdx, arm := range Fig7Arms() {
+		rng := stats.Derive(p.Seed, int64(1000+armIdx))
+		qualities := make([]float64, 0, p.Trials)
+		for trial := 0; trial < p.Trials; trial++ {
+			// Draw the die's failure count from the Eq. (4) prior,
+			// conditioned on at least one failure (fault-free dies have
+			// quality 1 by construction and are excluded from the CDF,
+			// matching Fig. 7's curves).
+			n := 0
+			for n == 0 {
+				n = stats.SampleBinomial(rng, cells, p.Pcell)
+			}
+			fm := fault.GenerateCount(rng, p.Rows, 32, n, fault.Flip)
+			m, err := arm.Build(p.Rows, fm)
+			if err != nil {
+				return Fig7Result{}, err
+			}
+			xc, yc := codec.RoundTripDataset(m, w.train.X, w.train.Y)
+			metric := w.evaluate(xc, yc)
+			qualities = append(qualities, ml.NormalizeQuality(metric, w.clean))
+		}
+		sort.Float64s(qualities)
+		res.Arms = append(res.Arms, Fig7Arm{Scheme: arm, Qualities: qualities})
+	}
+	return res, nil
+}
+
+// QualityCDFTable tabulates the per-arm quality CDF over a fixed grid —
+// the curves of Fig. 7a/b/c.
+func (r Fig7Result) QualityCDFTable() *Table {
+	header := []string{"normalized " + r.Params.App.Metric()}
+	for _, a := range r.Arms {
+		header = append(header, a.Scheme.String())
+	}
+	header = append(header, "H(39,32) ECC")
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 7%s - CDF of %s quality under memory failures (16KB, Pcell=%.0e)",
+			map[App]string{AppElasticnet: "a", AppPCA: "b", AppKNN: "c"}[r.Params.App],
+			r.Params.App, r.Params.Pcell),
+		Header: header,
+		Notes: []string{
+			fmt.Sprintf("fault-free %s = %.4f (quality 1.0); %d Monte-Carlo trials per arm",
+				r.Params.App.Metric(), r.CleanMetric, r.Params.Trials),
+			"H(39,32) ECC column is the error-free reference (samples with >1 error/word discarded, Section 5.2)",
+		},
+	}
+	for q := 0.0; q <= 1.0001; q += 0.05 {
+		row := []string{fmt.Sprintf("%.2f", q)}
+		for _, a := range r.Arms {
+			row = append(row, fmt.Sprintf("%.3f", a.CDFAt(q)))
+		}
+		// ECC: all mass at quality 1.0.
+		if q >= 1 {
+			row = append(row, "1.000")
+		} else {
+			row = append(row, "0.000")
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// SummaryTable reports mean quality and low quantiles per arm.
+func (r Fig7Result) SummaryTable() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 7 summary - %s (%s)", r.Params.App, r.Params.App.Metric()),
+		Header: []string{"scheme", "mean quality", "q10", "q50", "min"},
+	}
+	for _, a := range r.Arms {
+		t.AddRow(a.Scheme.String(),
+			fmt.Sprintf("%.4f", a.Mean()),
+			fmt.Sprintf("%.4f", a.QualityAtYield(0.10)),
+			fmt.Sprintf("%.4f", a.QualityAtYield(0.50)),
+			fmt.Sprintf("%.4f", a.Qualities[0]))
+	}
+	t.AddRow("H(39,32) ECC", "1.0000", "1.0000", "1.0000", "1.0000")
+	return t
+}

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWidthAblationShape(t *testing.T) {
+	rows := WidthAblation(4096)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	widths := []int{16, 32, 64}
+	for i, r := range rows {
+		if r.Width != widths[i] {
+			t.Errorf("row %d width %d", i, r.Width)
+		}
+		// The shuffle must beat its width's SECDED in every metric at
+		// nFM=1 and in delay at the finest granularity.
+		for m := 0; m < 3; m++ {
+			if r.Coarsest[m] >= 1 {
+				t.Errorf("W=%d: nFM=1 rel metric %d = %.2f >= 1", r.Width, m, r.Coarsest[m])
+			}
+		}
+		if r.Finest[1] >= 1 {
+			t.Errorf("W=%d: finest shuffle delay ratio %.2f >= 1", r.Width, r.Finest[1])
+		}
+		// Error bounds: finest is always 2^0 = 1; coarsest is 2^(W/2-1).
+		if r.MaxErrFinest != 1 {
+			t.Errorf("W=%d: finest max error %d", r.Width, r.MaxErrFinest)
+		}
+		if r.MaxErrCoarsest != uint64(1)<<uint(r.Width/2-1) {
+			t.Errorf("W=%d: coarsest max error %d", r.Width, r.MaxErrCoarsest)
+		}
+	}
+	// 64-bit reference: interleaved, 14 parity columns.
+	if rows[2].ECCColumns != 14 || rows[2].ECCName != "2xH(39,32) ECC" {
+		t.Errorf("64-bit reference wrong: %+v", rows[2])
+	}
+	// 16-bit reference: H(22,16), 6 columns.
+	if rows[0].ECCColumns != 6 {
+		t.Errorf("16-bit reference columns %d", rows[0].ECCColumns)
+	}
+	var buf bytes.Buffer
+	if err := WidthTable(rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Transition is the aggressor write transition that triggers a coupling
+// fault.
+type Transition uint8
+
+const (
+	// Rise triggers when the aggressor cell's stored value goes 0 -> 1.
+	Rise Transition = iota
+	// Fall triggers when it goes 1 -> 0.
+	Fall
+)
+
+// String names the transition in the usual notation.
+func (t Transition) String() string {
+	switch t {
+	case Rise:
+		return "up"
+	case Fall:
+		return "down"
+	default:
+		return fmt.Sprintf("transition(%d)", uint8(t))
+	}
+}
+
+// Coupling is an idempotent coupling fault (CFid): when the aggressor
+// cell undergoes the trigger transition during a write, the victim
+// cell's stored value toggles. Coupling faults are outside the paper's
+// persistent-fault model; they extend the BIST substrate so the March
+// algorithms' differing coverage becomes measurable.
+type Coupling struct {
+	AggRow, AggCol int
+	VicRow, VicCol int
+	Trigger        Transition
+}
+
+// Validate checks bounds and that aggressor and victim are distinct
+// cells.
+func (c Coupling) Validate(rows, width int) error {
+	for _, p := range [][2]int{{c.AggRow, c.AggCol}, {c.VicRow, c.VicCol}} {
+		if p[0] < 0 || p[0] >= rows || p[1] < 0 || p[1] >= width {
+			return fmt.Errorf("fault: coupling cell (%d,%d) outside %dx%d", p[0], p[1], rows, width)
+		}
+	}
+	if c.AggRow == c.VicRow && c.AggCol == c.VicCol {
+		return fmt.Errorf("fault: coupling aggressor and victim coincide at (%d,%d)", c.AggRow, c.AggCol)
+	}
+	if c.Trigger != Rise && c.Trigger != Fall {
+		return fmt.Errorf("fault: unknown coupling trigger %d", c.Trigger)
+	}
+	return nil
+}
+
+// GenerateCouplings draws n random coupling faults over a rows x width
+// array with distinct victim cells and random triggers.
+func GenerateCouplings(rng *rand.Rand, rows, width, n int) []Coupling {
+	cells := rows * width
+	if n > cells-1 {
+		panic(fmt.Sprintf("fault: %d couplings exceed array capacity", n))
+	}
+	seenVictims := make(map[int]struct{}, n)
+	out := make([]Coupling, 0, n)
+	for len(out) < n {
+		vic := rng.Intn(cells)
+		if _, dup := seenVictims[vic]; dup {
+			continue
+		}
+		agg := rng.Intn(cells)
+		if agg == vic {
+			continue
+		}
+		seenVictims[vic] = struct{}{}
+		c := Coupling{
+			AggRow: agg / width, AggCol: agg % width,
+			VicRow: vic / width, VicCol: vic % width,
+			Trigger: Transition(rng.Intn(2)),
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"faultmem/internal/stats"
+)
+
+func TestKindString(t *testing.T) {
+	if Flip.String() != "flip" || StuckAt0.String() != "sa0" || StuckAt1.String() != "sa1" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := Map{{Row: 0, Col: 0}, {Row: 3, Col: 31}}
+	if err := m.Validate(4, 32); err != nil {
+		t.Errorf("valid map rejected: %v", err)
+	}
+	bad := []Map{
+		{{Row: -1, Col: 0}},
+		{{Row: 4, Col: 0}},
+		{{Row: 0, Col: 32}},
+		{{Row: 0, Col: -1}},
+		{{Row: 1, Col: 1}, {Row: 1, Col: 1}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(4, 32); err == nil {
+			t.Errorf("bad map %d accepted", i)
+		}
+	}
+}
+
+func TestByRowAndCounts(t *testing.T) {
+	m := Map{{Row: 2, Col: 5}, {Row: 2, Col: 1}, {Row: 0, Col: 7}}
+	byRow := m.ByRow()
+	if len(byRow) != 2 {
+		t.Fatalf("ByRow groups = %d", len(byRow))
+	}
+	if cols := byRow[2]; len(cols) != 2 || cols[0] != 1 || cols[1] != 5 {
+		t.Errorf("row 2 cols = %v (want sorted [1 5])", cols)
+	}
+	if m.RowsAffected() != 2 {
+		t.Errorf("RowsAffected = %d", m.RowsAffected())
+	}
+	if m.MaxFaultsPerRow() != 2 {
+		t.Errorf("MaxFaultsPerRow = %d", m.MaxFaultsPerRow())
+	}
+	if Map(nil).MaxFaultsPerRow() != 0 {
+		t.Error("empty map MaxFaultsPerRow != 0")
+	}
+}
+
+func TestGenerateCountProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := stats.NewRand(seed)
+		n := int(nRaw) % 100
+		m := GenerateCount(rng, 64, 32, n, Flip)
+		if len(m) != n {
+			return false
+		}
+		return m.Validate(64, 32) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateCountUniformOverCells(t *testing.T) {
+	// Column marginal should be uniform across the word.
+	rng := stats.NewRand(5)
+	counts := make([]int, 32)
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		for _, f := range GenerateCount(rng, 16, 32, 4, Flip) {
+			counts[f.Col]++
+		}
+	}
+	want := float64(trials) * 4 / 32
+	for c, n := range counts {
+		if math.Abs(float64(n)-want) > 0.25*want {
+			t.Errorf("col %d hit %d times, want ~%.0f", c, n, want)
+		}
+	}
+}
+
+func TestGeneratePcellMean(t *testing.T) {
+	rng := stats.NewRand(11)
+	rows, width := 4096, 32
+	p := 1e-4
+	const trials = 300
+	total := 0
+	for i := 0; i < trials; i++ {
+		m := GeneratePcell(rng, rows, width, p, Flip)
+		if err := m.Validate(rows, width); err != nil {
+			t.Fatal(err)
+		}
+		total += len(m)
+	}
+	mean := float64(total) / trials
+	want := float64(rows*width) * p // ~13.1
+	if math.Abs(mean-want) > 1.2 {
+		t.Errorf("mean fault count %.2f, want %.2f", mean, want)
+	}
+}
+
+func TestRandomKinds(t *testing.T) {
+	rng := stats.NewRand(3)
+	m := GenerateCount(rng, 8, 8, 20, Flip)
+	mixed := RandomKinds(rng, m, []Kind{StuckAt0, StuckAt1})
+	if len(mixed) != len(m) {
+		t.Fatal("length changed")
+	}
+	for i, f := range mixed {
+		if f.Row != m[i].Row || f.Col != m[i].Col {
+			t.Fatal("positions changed")
+		}
+		if f.Kind != StuckAt0 && f.Kind != StuckAt1 {
+			t.Fatalf("unexpected kind %v", f.Kind)
+		}
+	}
+	// Original untouched.
+	for _, f := range m {
+		if f.Kind != Flip {
+			t.Fatal("RandomKinds mutated its input")
+		}
+	}
+}
+
+type linearCurve struct{}
+
+func (linearCurve) Pcell(vdd float64) float64 {
+	// Pr(fail at V) decreasing from 1 at V=0 to 0 at V=1.
+	switch {
+	case vdd <= 0:
+		return 1
+	case vdd >= 1:
+		return 0
+	default:
+		return 1 - vdd
+	}
+}
+func (linearCurve) CriticalVDD(u float64) float64 {
+	// Pr(Vcrit >= V) = 1 - V  =>  Vcrit = 1 - U for U uniform.
+	return 1 - u
+}
+
+func TestCriticalVoltagesInclusion(t *testing.T) {
+	rng := stats.NewRand(7)
+	cv := SampleCriticalVoltages(rng, 32, 16, linearCurve{})
+	r, w := cv.Dims()
+	if r != 32 || w != 16 {
+		t.Fatalf("dims %dx%d", r, w)
+	}
+	// Fault-inclusion: every fault at a higher VDD persists at lower VDD.
+	hi := cv.AtVDD(0.8, Flip)
+	lo := cv.AtVDD(0.5, Flip)
+	if len(lo) < len(hi) {
+		t.Fatalf("inclusion violated: %d faults at 0.5V < %d at 0.8V", len(lo), len(hi))
+	}
+	loSet := make(map[[2]int]bool)
+	for _, f := range lo {
+		loSet[[2]int{f.Row, f.Col}] = true
+	}
+	for _, f := range hi {
+		if !loSet[[2]int{f.Row, f.Col}] {
+			t.Fatalf("fault (%d,%d) at 0.8V missing at 0.5V", f.Row, f.Col)
+		}
+	}
+	if cv.CountAtVDD(0.5) != len(lo) {
+		t.Error("CountAtVDD disagrees with AtVDD")
+	}
+}
+
+func TestCriticalVoltagesMarginal(t *testing.T) {
+	// The fraction of failing cells at V should be ~ Pcell(V).
+	rng := stats.NewRand(13)
+	cv := SampleCriticalVoltages(rng, 256, 64, linearCurve{})
+	cells := float64(256 * 64)
+	for _, v := range []float64{0.25, 0.5, 0.75} {
+		frac := float64(cv.CountAtVDD(v)) / cells
+		want := 1 - v
+		if math.Abs(frac-want) > 0.02 {
+			t.Errorf("V=%.2f: failing fraction %.4f, want %.4f", v, frac, want)
+		}
+	}
+}

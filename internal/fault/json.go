@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// mapFile is the on-disk representation of a fault map: the die geometry
+// plus the fault list, so tools can exchange BIST results.
+type mapFile struct {
+	Rows   int         `json:"rows"`
+	Width  int         `json:"width"`
+	Faults []jsonFault `json:"faults"`
+}
+
+type jsonFault struct {
+	Row  int    `json:"row"`
+	Col  int    `json:"col"`
+	Kind string `json:"kind"`
+}
+
+// WriteJSON serializes the map with its geometry to w.
+func (m Map) WriteJSON(w io.Writer, rows, width int) error {
+	if err := m.Validate(rows, width); err != nil {
+		return fmt.Errorf("fault: refusing to serialize invalid map: %w", err)
+	}
+	f := mapFile{Rows: rows, Width: width, Faults: make([]jsonFault, len(m))}
+	for i, fv := range m {
+		f.Faults[i] = jsonFault{Row: fv.Row, Col: fv.Col, Kind: fv.Kind.String()}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadJSON deserializes a fault map and its geometry from r, validating
+// bounds and kinds.
+func ReadJSON(r io.Reader) (m Map, rows, width int, err error) {
+	var f mapFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, 0, 0, fmt.Errorf("fault: bad JSON: %w", err)
+	}
+	m = make(Map, len(f.Faults))
+	for i, jf := range f.Faults {
+		var kind Kind
+		switch jf.Kind {
+		case "flip":
+			kind = Flip
+		case "sa0":
+			kind = StuckAt0
+		case "sa1":
+			kind = StuckAt1
+		default:
+			return nil, 0, 0, fmt.Errorf("fault: unknown kind %q at entry %d", jf.Kind, i)
+		}
+		m[i] = Fault{Row: jf.Row, Col: jf.Col, Kind: kind}
+	}
+	if err := m.Validate(f.Rows, f.Width); err != nil {
+		return nil, 0, 0, err
+	}
+	return m, f.Rows, f.Width, nil
+}

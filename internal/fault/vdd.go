@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PcellCurve maps a supply voltage to a bit-cell failure probability. The
+// sram package provides the calibrated 28 nm 6T curve; it is an interface
+// here so the generators need not depend on the cell model.
+type PcellCurve interface {
+	// Pcell returns the bit-cell failure probability at supply voltage vdd
+	// (volts).
+	Pcell(vdd float64) float64
+	// CriticalVDD returns the supply voltage below which a cell with
+	// failure quantile u (u in (0,1), smaller u = weaker cell) fails.
+	CriticalVDD(u float64) float64
+}
+
+// CriticalVoltages stores, for every cell of a rows x width array, the
+// supply voltage at or below which that cell fails. It realizes the
+// fault-inclusion property of voltage scaling [Gottscho et al., DAC'14]:
+// a cell failing at VDD fails at every lower VDD, because its critical
+// voltage is a fixed property of the die.
+type CriticalVoltages struct {
+	rows, width int
+	vcrit       []float64
+}
+
+// SampleCriticalVoltages draws one die's worth of per-cell critical
+// voltages from the given Pcell curve.
+func SampleCriticalVoltages(rng *rand.Rand, rows, width int, curve PcellCurve) *CriticalVoltages {
+	cv := &CriticalVoltages{rows: rows, width: width, vcrit: make([]float64, rows*width)}
+	for i := range cv.vcrit {
+		u := rng.Float64()
+		// Guard the open-interval requirement of the quantile transform.
+		if u <= 0 {
+			u = 1e-300
+		}
+		cv.vcrit[i] = curve.CriticalVDD(u)
+	}
+	return cv
+}
+
+// Dims returns the array shape.
+func (cv *CriticalVoltages) Dims() (rows, width int) { return cv.rows, cv.width }
+
+// VCrit returns the critical voltage of cell (row, col).
+func (cv *CriticalVoltages) VCrit(row, col int) float64 {
+	if row < 0 || row >= cv.rows || col < 0 || col >= cv.width {
+		panic(fmt.Sprintf("fault: cell (%d,%d) outside %dx%d", row, col, cv.rows, cv.width))
+	}
+	return cv.vcrit[row*cv.width+col]
+}
+
+// AtVDD returns the fault map observed when the die operates at vdd:
+// every cell whose critical voltage is >= vdd fails, with the given kind.
+// Maps at decreasing vdd are supersets of maps at higher vdd.
+func (cv *CriticalVoltages) AtVDD(vdd float64, kind Kind) Map {
+	var m Map
+	for i, vc := range cv.vcrit {
+		if vc >= vdd {
+			m = append(m, Fault{Row: i / cv.width, Col: i % cv.width, Kind: kind})
+		}
+	}
+	return m
+}
+
+// CountAtVDD returns the number of failing cells at vdd without building
+// the map.
+func (cv *CriticalVoltages) CountAtVDD(vdd float64) int {
+	n := 0
+	for _, vc := range cv.vcrit {
+		if vc >= vdd {
+			n++
+		}
+	}
+	return n
+}

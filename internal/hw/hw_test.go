@@ -1,0 +1,186 @@
+package hw
+
+import (
+	"testing"
+
+	"faultmem/internal/core"
+	"faultmem/internal/ecc"
+)
+
+func TestCostCompose(t *testing.T) {
+	a := Cost{Area: 1, Delay: 10, Energy: 2, Gates: 3}
+	b := Cost{Area: 2, Delay: 5, Energy: 1, Gates: 1}
+	s := a.Plus(b)
+	if s.Area != 3 || s.Delay != 15 || s.Energy != 3 || s.Gates != 4 {
+		t.Errorf("Plus = %+v", s)
+	}
+	p := a.PlusParallel(b)
+	if p.Area != 3 || p.Delay != 10 || p.Energy != 3 || p.Gates != 4 {
+		t.Errorf("PlusParallel = %+v", p)
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 32: 5, 39: 6}
+	for fanIn, want := range cases {
+		if got := treeDepth(fanIn); got != want {
+			t.Errorf("treeDepth(%d) = %d, want %d", fanIn, got, want)
+		}
+	}
+}
+
+func TestXORTreeStructure(t *testing.T) {
+	l := Lib28nm()
+	c := l.XORTree(32)
+	if c.Gates != 31 {
+		t.Errorf("32-input XOR tree has %d gates, want 31", c.Gates)
+	}
+	if c.Delay != 5*l.XOR2.Delay {
+		t.Errorf("32-input XOR tree delay %g, want %g", c.Delay, 5*l.XOR2.Delay)
+	}
+	if one := l.XORTree(1); one.Gates != 0 || one.Delay != 0 {
+		t.Errorf("1-input tree should be free: %+v", one)
+	}
+}
+
+func TestDecoderDeeperAndBiggerThanEncoder(t *testing.T) {
+	l := Lib28nm()
+	code := ecc.H39_32()
+	enc := l.SECDEDEncoder(code)
+	dec := l.SECDEDDecoder(code)
+	if dec.Gates <= enc.Gates {
+		t.Errorf("decoder gates %d <= encoder gates %d", dec.Gates, enc.Gates)
+	}
+	if dec.Delay <= enc.Delay {
+		t.Errorf("decoder delay %g <= encoder delay %g", dec.Delay, enc.Delay)
+	}
+}
+
+func TestDecoderDelayMatchesCitedGateDelays(t *testing.T) {
+	// §3 cites ~13 gate delays of added read access for H(39,32) SECDED.
+	// With a ~10 ps 28 nm gate delay that is ~130 ps; the structural model
+	// must land in the same regime (100-200 ps).
+	l := Lib28nm()
+	d := l.SECDEDDecoder(ecc.H39_32()).Delay
+	if d < 100 || d > 200 {
+		t.Errorf("H(39,32) decoder delay %g ps outside the cited regime", d)
+	}
+}
+
+func TestSmallerCodeSmallerDecoder(t *testing.T) {
+	l := Lib28nm()
+	d39 := l.SECDEDDecoder(ecc.H39_32())
+	d22 := l.SECDEDDecoder(ecc.H22_16())
+	if d22.Gates >= d39.Gates || d22.Energy >= d39.Energy || d22.Delay > d39.Delay {
+		t.Errorf("H(22,16) decoder not smaller: %+v vs %+v", d22, d39)
+	}
+}
+
+func TestBarrelShifterScaling(t *testing.T) {
+	l := Lib28nm()
+	s1 := l.BarrelShifter(32, 1)
+	s5 := l.BarrelShifter(32, 5)
+	if s1.Gates != 32 || s5.Gates != 160 {
+		t.Errorf("shifter gates %d / %d, want 32 / 160", s1.Gates, s5.Gates)
+	}
+	if s5.Delay != 5*s1.Delay {
+		t.Errorf("shifter delay not linear in stages: %g vs %g", s5.Delay, s1.Delay)
+	}
+}
+
+func TestMacroColumns(t *testing.T) {
+	m := Macro28nm(4096)
+	c7 := m.Columns(7)
+	c1 := m.Columns(1)
+	if c7.Area != 7*c1.Area || c7.Energy != 7*c1.Energy {
+		t.Error("column costs not linear")
+	}
+	if c1.Delay != 0 {
+		t.Error("extra columns must not add read delay")
+	}
+	// A 4096-row column is dominated by its cells.
+	if c1.Area < 4096*m.CellArea {
+		t.Errorf("column area %g below cell area alone", c1.Area)
+	}
+}
+
+func TestFig6OrderingInvariants(t *testing.T) {
+	// The structural shape of Fig. 6 that must hold regardless of library
+	// calibration:
+	//  1. every bit-shuffling variant beats full ECC in all three metrics;
+	//  2. overheads grow monotonically with nFM;
+	//  3. P-ECC sits below full ECC in all three metrics;
+	//  4. nFM=1 beats P-ECC in all three metrics.
+	rows := Fig6Table(Lib28nm(), Macro28nm(4096))
+	if len(rows) != 7 {
+		t.Fatalf("Fig6Table has %d rows, want 7", len(rows))
+	}
+	shuffle := rows[:5]
+	pecc := rows[5]
+	eccRow := rows[6]
+
+	if eccRow.Power != 1 || eccRow.Delay != 1 || eccRow.Area != 1 {
+		t.Errorf("ECC row not normalized: %+v", eccRow)
+	}
+	for i, r := range shuffle {
+		if r.Power >= 1 || r.Delay >= 1 || r.Area >= 1 {
+			t.Errorf("nFM=%d does not beat ECC: %+v", i+1, r)
+		}
+		if i > 0 {
+			prev := shuffle[i-1]
+			if r.Power <= prev.Power || r.Delay <= prev.Delay || r.Area <= prev.Area {
+				t.Errorf("overheads not monotone at nFM=%d: %+v vs %+v", i+1, r, prev)
+			}
+		}
+	}
+	if pecc.Power >= 1 || pecc.Delay >= 1 || pecc.Area >= 1 {
+		t.Errorf("P-ECC does not beat ECC: %+v", pecc)
+	}
+	if shuffle[0].Power >= pecc.Power || shuffle[0].Delay >= pecc.Delay || shuffle[0].Area >= pecc.Area {
+		t.Errorf("nFM=1 does not beat P-ECC: %+v vs %+v", shuffle[0], pecc)
+	}
+}
+
+func TestFig6MatchesPaperRanges(t *testing.T) {
+	// §5.1: bit-shuffling saves 20–83% read power, 41–77% read delay, and
+	// 32–89% area versus H(39,32) SECDED. The model must land each range
+	// endpoint within ~12 percentage points of the paper.
+	s := ShuffleSavingsVsECC(Lib28nm(), Macro28nm(4096))
+	check := func(name string, got, want float64) {
+		if got < want-12 || got > want+12 {
+			t.Errorf("%s saving %.1f%%, paper reports %.0f%%", name, got, want)
+		}
+	}
+	check("min power", s.PowerMin, 20)
+	check("max power", s.PowerMax, 83)
+	check("min delay", s.DelayMin, 41)
+	check("max delay", s.DelayMax, 77)
+	check("min area", s.AreaMin, 32)
+	check("max area", s.AreaMax, 89)
+}
+
+func TestShuffleOverheadColumnsAndGates(t *testing.T) {
+	o := ShuffleOverhead(Lib28nm(), Macro28nm(4096), core.Config{Width: 32, NFM: 3})
+	if o.Columns != 3 {
+		t.Errorf("columns %d, want 3 (the FM-LUT width)", o.Columns)
+	}
+	if o.LogicGates < 96 { // at least the 3x32 shifter muxes
+		t.Errorf("logic gates %d implausibly small", o.LogicGates)
+	}
+	if o.ReadDelay <= 0 || o.ReadEnergy <= 0 || o.Area <= 0 {
+		t.Errorf("non-positive overheads: %+v", o)
+	}
+}
+
+func TestOverheadScalesWithRows(t *testing.T) {
+	// Storage-dominated area must grow with the macro size, logic delay
+	// must not.
+	small := ECCOverhead(Lib28nm(), Macro28nm(1024), ecc.H39_32())
+	large := ECCOverhead(Lib28nm(), Macro28nm(8192), ecc.H39_32())
+	if large.Area <= small.Area {
+		t.Error("area does not grow with rows")
+	}
+	if large.ReadDelay != small.ReadDelay {
+		t.Error("decoder delay should not depend on row count")
+	}
+}

@@ -1,0 +1,193 @@
+package hw
+
+import (
+	"fmt"
+
+	"faultmem/internal/core"
+	"faultmem/internal/ecc"
+)
+
+// Macro models the SRAM array whose columns the protection schemes
+// extend: parity bits for the ECC variants, FM-LUT bits for bit-shuffling
+// (the paper's most straightforward realization stores the LUT as entire
+// bit columns in the array, §5.1).
+type Macro struct {
+	// Rows is the word count (4096 for the paper's 16 KB / 32-bit macro).
+	Rows int
+	// CellArea is the 6T bit-cell area in µm² (≈0.127 µm² high-density
+	// 28 nm).
+	CellArea float64
+	// ColPeriphArea is the per-column periphery (sense amplifier,
+	// precharge, write driver, column mux) in µm².
+	ColPeriphArea float64
+	// ColReadEnergy is the per-column energy of one read access in fJ
+	// (bitline swing + sense).
+	ColReadEnergy float64
+	// AccessDelay is the baseline array read access time in ps (row
+	// decode + wordline + bitline + sense), before any scheme logic.
+	AccessDelay float64
+}
+
+// Macro28nm returns the 28 nm-class macro characterization for the given
+// row count.
+func Macro28nm(rows int) Macro {
+	if rows <= 0 {
+		panic(fmt.Sprintf("hw: invalid row count %d", rows))
+	}
+	return Macro{
+		Rows:          rows,
+		CellArea:      0.127,
+		ColPeriphArea: 16.0,
+		ColReadEnergy: 20.0,
+		AccessDelay:   450,
+	}
+}
+
+// Columns returns the cost of n extra bit columns: storage cells plus
+// per-column periphery; read energy per access; no added delay (columns
+// are read in parallel with the data word).
+func (m Macro) Columns(n int) Cost {
+	return Cost{
+		Area:   float64(n) * (float64(m.Rows)*m.CellArea + m.ColPeriphArea),
+		Energy: float64(n) * m.ColReadEnergy,
+	}
+}
+
+// Overhead is the read-path overhead of one protection scheme over the
+// unprotected array, in absolute units.
+type Overhead struct {
+	// Name identifies the scheme ("H(39,32) ECC", "nFM=3", ...).
+	Name string
+	// ReadEnergy is the extra energy per read access in fJ.
+	ReadEnergy float64
+	// ReadDelay is the extra read-path delay in ps.
+	ReadDelay float64
+	// Area is the extra silicon area in µm² (storage columns + all logic,
+	// including the write-path encoder/shifter which occupies area even
+	// though it does not load the read path).
+	Area float64
+	// Columns is the number of extra bit columns.
+	Columns int
+	// LogicGates is the total equivalent gate count of the added logic.
+	LogicGates int
+}
+
+// ECCOverhead returns the read-path overhead of full-word SECDED over an
+// unprotected array: c.ParityBits() extra columns, the decoder on the
+// read path, and the encoder's area.
+func ECCOverhead(l Library, m Macro, c *ecc.Code) Overhead {
+	cols := m.Columns(c.ParityBits())
+	dec := l.SECDEDDecoder(c)
+	enc := l.SECDEDEncoder(c)
+	return Overhead{
+		Name:       c.Name() + " ECC",
+		ReadEnergy: cols.Energy + dec.Energy,
+		ReadDelay:  dec.Delay,
+		Area:       cols.Area + dec.Area + enc.Area,
+		Columns:    c.ParityBits(),
+		LogicGates: dec.Gates + enc.Gates,
+	}
+}
+
+// PECCOverhead returns the overhead of the paper's priority-based ECC:
+// H(22,16) on the 16 MSBs only. The decoder is smaller and the parity
+// storage is 6 columns instead of 7; the 16 LSBs bypass the decoder
+// entirely.
+func PECCOverhead(l Library, m Macro) Overhead {
+	o := ECCOverhead(l, m, ecc.H22_16())
+	o.Name = "H(22,16) P-ECC"
+	return o
+}
+
+// PartialECCOverhead generalizes PECCOverhead to any protected-MSB count:
+// the SECDED code for protectedBits data bits supplies the columns and
+// decoder; the remaining bits bypass it.
+func PartialECCOverhead(l Library, m Macro, protectedBits int) Overhead {
+	o := ECCOverhead(l, m, ecc.MustNew(protectedBits))
+	o.Name = fmt.Sprintf("P-ECC top-%d", protectedBits)
+	return o
+}
+
+// ShuffleOverhead returns the overhead of the bit-shuffling scheme at the
+// given configuration: nFM FM-LUT columns, the barrel shifter (shared
+// between read and write paths via the shift-amount select), and the
+// shift-amount logic. Only the shifter's mux stages and the amount-select
+// mux load the read path; the FM-LUT columns are read in parallel with
+// the data row.
+func ShuffleOverhead(l Library, m Macro, cfg core.Config) Overhead {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cols := m.Columns(cfg.NFM)
+	shifter := l.BarrelShifter(cfg.Width, cfg.NFM)
+	amount := l.ShiftAmountLogic(cfg.NFM)
+	return Overhead{
+		Name:       fmt.Sprintf("nFM=%d shuffle", cfg.NFM),
+		ReadEnergy: cols.Energy + shifter.Energy + amount.Energy,
+		ReadDelay:  shifter.Delay + amount.Delay,
+		Area:       cols.Area + shifter.Area + amount.Area,
+		Columns:    cfg.NFM,
+		LogicGates: shifter.Gates + amount.Gates,
+	}
+}
+
+// Relative is one row of the Fig. 6 comparison: a scheme's overheads
+// normalized to the H(39,32) SECDED overheads.
+type Relative struct {
+	Name  string
+	Power float64 // read power overhead / ECC read power overhead
+	Delay float64 // read delay overhead / ECC read delay overhead
+	Area  float64 // area overhead / ECC area overhead
+}
+
+// Fig6Table computes the full Fig. 6 comparison for a 32-bit word macro:
+// bit-shuffling at nFM = 1..5 and H(22,16) P-ECC, all relative to
+// H(39,32) SECDED (= 1.0 in every metric).
+func Fig6Table(l Library, m Macro) []Relative {
+	eccOv := ECCOverhead(l, m, ecc.H39_32())
+	rel := func(o Overhead) Relative {
+		return Relative{
+			Name:  o.Name,
+			Power: o.ReadEnergy / eccOv.ReadEnergy,
+			Delay: o.ReadDelay / eccOv.ReadDelay,
+			Area:  o.Area / eccOv.Area,
+		}
+	}
+	var rows []Relative
+	for nfm := 1; nfm <= 5; nfm++ {
+		rows = append(rows, rel(ShuffleOverhead(l, m, core.Config{Width: 32, NFM: nfm})))
+	}
+	rows = append(rows, rel(PECCOverhead(l, m)))
+	rows = append(rows, Relative{Name: eccOv.Name, Power: 1, Delay: 1, Area: 1})
+	return rows
+}
+
+// Savings summarizes the §5.1 headline numbers: the min/max percentage
+// reduction of the bit-shuffling variants versus a reference overhead.
+type Savings struct {
+	PowerMin, PowerMax float64 // percent
+	DelayMin, DelayMax float64
+	AreaMin, AreaMax   float64
+}
+
+// ShuffleSavingsVsECC computes the §5.1 ranges ("20%–83% read power,
+// 41%–77% read delay, 32%–89% area") from the model.
+func ShuffleSavingsVsECC(l Library, m Macro) Savings {
+	eccOv := ECCOverhead(l, m, ecc.H39_32())
+	s := Savings{PowerMin: 100, DelayMin: 100, AreaMin: 100}
+	for nfm := 1; nfm <= 5; nfm++ {
+		o := ShuffleOverhead(l, m, core.Config{Width: 32, NFM: nfm})
+		upd := func(min, max *float64, saving float64) {
+			if saving < *min {
+				*min = saving
+			}
+			if saving > *max {
+				*max = saving
+			}
+		}
+		upd(&s.PowerMin, &s.PowerMax, 100*(1-o.ReadEnergy/eccOv.ReadEnergy))
+		upd(&s.DelayMin, &s.DelayMax, 100*(1-o.ReadDelay/eccOv.ReadDelay))
+		upd(&s.AreaMin, &s.AreaMax, 100*(1-o.Area/eccOv.Area))
+	}
+	return s
+}

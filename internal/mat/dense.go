@@ -1,0 +1,281 @@
+// Package mat implements the small dense linear-algebra kernel the
+// data-mining benchmarks need: matrices, covariance, standardization, and
+// a Jacobi eigensolver for symmetric matrices (used by PCA).
+//
+// It is deliberately minimal and allocation-transparent; everything is
+// float64 and row-major.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense creates an r x c zero matrix. It panics on non-positive
+// dimensions.
+func NewDense(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows, copying the
+// data.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: FromRows of empty data")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("mat: ragged row %d (len %d, want %d)", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Dims returns the row and column counts.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic("mat: row index out of range")
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// RawRow returns row i as a slice aliasing the matrix storage; mutations
+// write through. Intended for hot loops (KNN distance computation).
+func (m *Dense) RawRow(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic("mat: row index out of range")
+	}
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic("mat: column index out of range")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	n := NewDense(m.rows, m.cols)
+	copy(n.data, m.data)
+	return n
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns a*b. It panics on dimension mismatch.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a*x as a new vector.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// SqDist returns the squared Euclidean distance between x and y.
+func SqDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: SqDist length mismatch")
+	}
+	s := 0.0
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// ColMeans returns the per-column means of m.
+func ColMeans(m *Dense) []float64 {
+	mu := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			mu[j] += v
+		}
+	}
+	for j := range mu {
+		mu[j] /= float64(m.rows)
+	}
+	return mu
+}
+
+// ColStds returns the per-column sample standard deviations of m
+// (ddof = 1; a zero-variance column reports 0).
+func ColStds(m *Dense) []float64 {
+	mu := ColMeans(m)
+	sd := make([]float64, m.cols)
+	if m.rows < 2 {
+		return sd
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			d := v - mu[j]
+			sd[j] += d * d
+		}
+	}
+	for j := range sd {
+		sd[j] = math.Sqrt(sd[j] / float64(m.rows-1))
+	}
+	return sd
+}
+
+// Standardizer centers and scales columns to zero mean / unit variance,
+// remembering the transform so it can be applied to held-out data.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer learns the column transform from m. Columns with zero
+// (or non-finite) spread get Std 1 so they pass through centered only.
+func FitStandardizer(m *Dense) *Standardizer {
+	s := &Standardizer{Mean: ColMeans(m), Std: ColStds(m)}
+	for j, sd := range s.Std {
+		if sd == 0 || math.IsNaN(sd) || math.IsInf(sd, 0) {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Apply returns a standardized copy of m using the learned transform.
+func (s *Standardizer) Apply(m *Dense) *Dense {
+	if m.cols != len(s.Mean) {
+		panic("mat: Standardizer dimension mismatch")
+	}
+	out := m.Clone()
+	for i := 0; i < out.rows; i++ {
+		row := out.data[i*out.cols : (i+1)*out.cols]
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// Covariance returns the (cols x cols) sample covariance matrix of m
+// (ddof = 1). PCA consumes this.
+func Covariance(m *Dense) *Dense {
+	if m.rows < 2 {
+		panic("mat: Covariance needs at least 2 rows")
+	}
+	mu := ColMeans(m)
+	c := NewDense(m.cols, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for a := 0; a < m.cols; a++ {
+			da := row[a] - mu[a]
+			if da == 0 {
+				continue
+			}
+			crow := c.data[a*c.cols : (a+1)*c.cols]
+			for b := a; b < m.cols; b++ {
+				crow[b] += da * (row[b] - mu[b])
+			}
+		}
+	}
+	n1 := float64(m.rows - 1)
+	for a := 0; a < m.cols; a++ {
+		for b := a; b < m.cols; b++ {
+			v := c.data[a*c.cols+b] / n1
+			c.data[a*c.cols+b] = v
+			c.data[b*c.cols+a] = v
+		}
+	}
+	return c
+}

@@ -1,0 +1,356 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	r, c := m.Dims()
+	if r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Error("Set/At roundtrip failed")
+	}
+	if m.At(0, 0) != 0 {
+		t.Error("zero init violated")
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if got := m.Row(1); got[0] != 3 || got[1] != 4 {
+		t.Errorf("Row(1) = %v", got)
+	}
+	if got := m.Col(1); got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Errorf("Col(1) = %v", got)
+	}
+	// Row returns a copy; RawRow aliases.
+	cp := m.Row(0)
+	cp[0] = 99
+	if m.At(0, 0) == 99 {
+		t.Error("Row did not copy")
+	}
+	rr := m.RawRow(0)
+	rr[0] = 42
+	if m.At(0, 0) != 42 {
+		t.Error("RawRow did not alias")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	r, c := tr.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("T dims %dx%d", r, c)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("Mul mismatch at (%d,%d): %g", i, j, got.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(6) + 1
+		a := NewDense(n, n)
+		id := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(i, i, 1)
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		got := Mul(a, id)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got.At(i, j) != a.At(i, j) {
+					t.Fatalf("A*I != A at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMulVecDotNorm(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 2}, {1, 1}})
+	got := MulVec(a, []float64{3, 4})
+	want := []float64{3, 8, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVec[%d] = %g", i, got[i])
+		}
+	}
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Error("Norm2 wrong")
+	}
+	if SqDist([]float64{0, 0}, []float64{3, 4}) != 25 {
+		t.Error("SqDist wrong")
+	}
+}
+
+func TestColMeansStds(t *testing.T) {
+	m := FromRows([][]float64{{1, 10}, {3, 10}})
+	mu := ColMeans(m)
+	if mu[0] != 2 || mu[1] != 10 {
+		t.Errorf("means %v", mu)
+	}
+	sd := ColStds(m)
+	if !almostEq(sd[0], math.Sqrt2, 1e-12) || sd[1] != 0 {
+		t.Errorf("stds %v", sd)
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewDense(200, 3)
+	for i := 0; i < 200; i++ {
+		m.Set(i, 0, rng.NormFloat64()*5+3)
+		m.Set(i, 1, rng.NormFloat64()*0.1-2)
+		m.Set(i, 2, 7) // constant column
+	}
+	s := FitStandardizer(m)
+	z := s.Apply(m)
+	mu := ColMeans(z)
+	sd := ColStds(z)
+	for j := 0; j < 2; j++ {
+		if !almostEq(mu[j], 0, 1e-10) {
+			t.Errorf("col %d standardized mean %g", j, mu[j])
+		}
+		if !almostEq(sd[j], 1, 1e-10) {
+			t.Errorf("col %d standardized std %g", j, sd[j])
+		}
+	}
+	// Constant column: centered but not blown up.
+	if !almostEq(mu[2], 0, 1e-12) || math.IsNaN(sd[2]) {
+		t.Errorf("constant column handled badly: mean %g std %g", mu[2], sd[2])
+	}
+	// Apply with the learned transform is affine: same transform on a
+	// single held-out row.
+	row := FromRows([][]float64{{3, -2, 7}})
+	zr := s.Apply(row)
+	if !almostEq(zr.At(0, 0), (3-s.Mean[0])/s.Std[0], 1e-12) {
+		t.Error("held-out Apply mismatch")
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Two perfectly correlated columns.
+	m := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	c := Covariance(m)
+	if !almostEq(c.At(0, 0), 1, 1e-12) {
+		t.Errorf("var(x) = %g", c.At(0, 0))
+	}
+	if !almostEq(c.At(1, 1), 4, 1e-12) {
+		t.Errorf("var(y) = %g", c.At(1, 1))
+	}
+	if !almostEq(c.At(0, 1), 2, 1e-12) || !almostEq(c.At(1, 0), 2, 1e-12) {
+		t.Errorf("cov = %g / %g", c.At(0, 1), c.At(1, 0))
+	}
+}
+
+func TestCovarianceSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewDense(20, 5)
+		for i := 0; i < 20; i++ {
+			for j := 0; j < 5; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		c := Covariance(m)
+		for i := 0; i < 5; i++ {
+			if c.At(i, i) < 0 {
+				return false
+			}
+			for j := 0; j < 5; j++ {
+				if c.At(i, j) != c.At(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	vals, vecs := EigenSym(a)
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if !almostEq(vals[i], want[i], 1e-12) {
+			t.Errorf("eigenvalue %d = %g, want %g", i, vals[i], want[i])
+		}
+	}
+	// Eigenvectors of a diagonal matrix are (signed) unit basis vectors.
+	for k := 0; k < 3; k++ {
+		col := vecs.Col(k)
+		if !almostEq(Norm2(col), 1, 1e-10) {
+			t.Errorf("eigenvector %d not unit: %v", k, col)
+		}
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := EigenSym(a)
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	// Check A v = lambda v for the top eigenvector.
+	v0 := vecs.Col(0)
+	av := MulVec(a, v0)
+	for i := range av {
+		if !almostEq(av[i], 3*v0[i], 1e-9) {
+			t.Errorf("A v != 3 v at %d: %g vs %g", i, av[i], 3*v0[i])
+		}
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	// Random symmetric matrices: V diag(L) V^T must reconstruct A, trace
+	// must equal the eigenvalue sum, and V must be orthonormal.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(8) + 2
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs := EigenSym(a)
+
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += vals[i]
+		}
+		if !almostEq(trace, sum, 1e-8*float64(n)) {
+			t.Fatalf("trial %d: trace %g vs eigen sum %g", trial, trace, sum)
+		}
+
+		// Orthonormality: V^T V = I.
+		vtv := Mul(vecs.T(), vecs)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(vtv.At(i, j), want, 1e-8) {
+					t.Fatalf("trial %d: V^T V (%d,%d) = %g", trial, i, j, vtv.At(i, j))
+				}
+			}
+		}
+
+		// Reconstruction.
+		lam := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			lam.Set(i, i, vals[i])
+		}
+		rec := Mul(Mul(vecs, lam), vecs.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(rec.At(i, j), a.At(i, j), 1e-8) {
+					t.Fatalf("trial %d: reconstruction (%d,%d): %g vs %g",
+						trial, i, j, rec.At(i, j), a.At(i, j))
+				}
+			}
+		}
+
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("trial %d: eigenvalues not descending: %v", trial, vals)
+			}
+		}
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("asymmetric input did not panic")
+		}
+	}()
+	EigenSym(FromRows([][]float64{{1, 2}, {0, 1}}))
+}
+
+func TestEigenSymPSDCovariance(t *testing.T) {
+	// Covariance matrices must have non-negative eigenvalues.
+	rng := rand.New(rand.NewSource(23))
+	m := NewDense(50, 6)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	vals, _ := EigenSym(Covariance(m))
+	for i, v := range vals {
+		if v < -1e-10 {
+			t.Errorf("negative eigenvalue %d of covariance: %g", i, v)
+		}
+	}
+}
+
+func BenchmarkEigenSym50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 50
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EigenSym(a)
+	}
+}

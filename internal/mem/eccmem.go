@@ -1,0 +1,251 @@
+package mem
+
+import (
+	"fmt"
+
+	"faultmem/internal/ecc"
+	"faultmem/internal/fault"
+	"faultmem/internal/sram"
+)
+
+// ECC is a memory protected by a full-word H(39,32) SECDED code, as in
+// Fig. 1 of the paper: every 32-bit write is expanded to a 39-bit
+// codeword; every read decodes, correcting single errors and flagging
+// double errors. On an uncorrectable error the raw payload is returned
+// (there is nothing better to do at the memory level).
+type ECC struct {
+	arr   *sram.Array
+	code  *ecc.Code
+	stats Stats
+}
+
+// NewECC builds an H(39,32)-protected memory over rows words. dataFaults
+// is in data geometry (cols in [0,32)); those faults are placed at the
+// codeword positions holding the corresponding data bits. checkFaults
+// (optional, may be nil) injects additional faults into check-bit cells:
+// cols in [0, ParityBits) index the overall-parity bit (0) followed by the
+// Hamming parity bits in position order.
+func NewECC(rows int, dataFaults, checkFaults fault.Map) (*ECC, error) {
+	code := ecc.H39_32()
+	arr := sram.NewArray(rows, code.CodewordBits())
+	translated, err := translateCodewordFaults(code, rows, dataFaults, checkFaults)
+	if err != nil {
+		return nil, err
+	}
+	if err := arr.SetFaults(translated); err != nil {
+		return nil, err
+	}
+	return &ECC{arr: arr, code: code}, nil
+}
+
+// translateCodewordFaults maps data-geometry and check-bit-geometry fault
+// maps onto the physical codeword columns of code.
+func translateCodewordFaults(code *ecc.Code, rows int, dataFaults, checkFaults fault.Map) (fault.Map, error) {
+	if err := dataFaults.Validate(rows, code.DataBits()); err != nil {
+		return nil, fmt.Errorf("mem: bad data fault map: %w", err)
+	}
+	dataPos := code.DataPositions()
+	out := make(fault.Map, 0, len(dataFaults)+len(checkFaults))
+	for _, f := range dataFaults {
+		out = append(out, fault.Fault{Row: f.Row, Col: dataPos[f.Col], Kind: f.Kind})
+	}
+	if len(checkFaults) > 0 {
+		if err := checkFaults.Validate(rows, code.ParityBits()); err != nil {
+			return nil, fmt.Errorf("mem: bad check-bit fault map: %w", err)
+		}
+		// Check-bit columns: index 0 = overall parity (codeword bit 0),
+		// then the Hamming parity bits at power-of-two positions.
+		checkPos := make([]int, 0, code.ParityBits())
+		checkPos = append(checkPos, 0)
+		for i := 0; i < code.ParityBits()-1; i++ {
+			checkPos = append(checkPos, 1<<uint(i))
+		}
+		for _, f := range checkFaults {
+			out = append(out, fault.Fault{Row: f.Row, Col: checkPos[f.Col], Kind: f.Kind})
+		}
+	}
+	return out, nil
+}
+
+// Read decodes the word at addr.
+func (e *ECC) Read(addr int) uint32 {
+	e.stats.Reads++
+	data, st, _ := e.code.Decode(e.arr.Read(addr))
+	switch st {
+	case ecc.Corrected:
+		e.stats.Corrected++
+	case ecc.DetectedUncorrectable:
+		e.stats.Uncorrectable++
+	}
+	return uint32(data)
+}
+
+// Write encodes and stores v at addr.
+func (e *ECC) Write(addr int, v uint32) {
+	e.arr.Write(addr, e.code.Encode(uint64(v)))
+}
+
+// Words returns the address space size.
+func (e *ECC) Words() int { return e.arr.Rows() }
+
+// Stats returns the decode outcome counters.
+func (e *ECC) Stats() Stats { return e.stats }
+
+// Code returns the SECDED code in use.
+func (e *ECC) Code() *ecc.Code { return e.code }
+
+// Array exposes the underlying codeword array (39 columns) for fault
+// studies.
+func (e *ECC) Array() *sram.Array { return e.arr }
+
+// PECC is a priority-based-ECC memory [Lee et al.; Emre et al.]: only
+// the most significant bits of each word are protected by a SECDED code,
+// while the low-order bits are stored unprotected. The paper's
+// configuration protects the 16 MSBs with H(22,16); NewPartialECC
+// generalizes the split. Physical layout per row: the unprotected low
+// bits first, then the codeword of the protected high bits.
+type PECC struct {
+	arr     *sram.Array
+	code    *ecc.Code
+	lowBits int
+	stats   Stats
+}
+
+// NewPECC builds the paper's H(22,16)-on-16-MSBs priority-ECC memory.
+// dataFaults is in data geometry; faults at cols 0..15 land in the raw
+// lower half, faults at cols 16..31 land at the codeword positions of the
+// corresponding upper-half data bits. checkFaults (optional) indexes the
+// 6 check-bit cells of the upper-half code as in NewECC.
+func NewPECC(rows int, dataFaults, checkFaults fault.Map) (*PECC, error) {
+	return NewPartialECC(rows, 16, dataFaults, checkFaults)
+}
+
+// NewPartialECC builds a priority-ECC memory protecting the
+// protectedMSBs most significant bits of each 32-bit word (1..31) with
+// the matching SECDED code.
+func NewPartialECC(rows, protectedMSBs int, dataFaults, checkFaults fault.Map) (*PECC, error) {
+	if protectedMSBs < 1 || protectedMSBs > 31 {
+		return nil, fmt.Errorf("mem: protected MSB count %d outside [1,31]", protectedMSBs)
+	}
+	code, err := ecc.New(protectedMSBs)
+	if err != nil {
+		return nil, err
+	}
+	lowBits := DataWidth - protectedMSBs
+	if err := dataFaults.Validate(rows, DataWidth); err != nil {
+		return nil, fmt.Errorf("mem: bad data fault map: %w", err)
+	}
+	arr := sram.NewArray(rows, lowBits+code.CodewordBits())
+	dataPos := code.DataPositions()
+	phys := make(fault.Map, 0, len(dataFaults)+len(checkFaults))
+	for _, f := range dataFaults {
+		col := f.Col
+		if col >= lowBits {
+			col = lowBits + dataPos[f.Col-lowBits]
+		}
+		phys = append(phys, fault.Fault{Row: f.Row, Col: col, Kind: f.Kind})
+	}
+	if len(checkFaults) > 0 {
+		if err := checkFaults.Validate(rows, code.ParityBits()); err != nil {
+			return nil, fmt.Errorf("mem: bad check-bit fault map: %w", err)
+		}
+		checkPos := []int{0}
+		for i := 0; i < code.ParityBits()-1; i++ {
+			checkPos = append(checkPos, 1<<uint(i))
+		}
+		for _, f := range checkFaults {
+			phys = append(phys, fault.Fault{Row: f.Row, Col: lowBits + checkPos[f.Col], Kind: f.Kind})
+		}
+	}
+	if err := arr.SetFaults(phys); err != nil {
+		return nil, err
+	}
+	return &PECC{arr: arr, code: code, lowBits: lowBits}, nil
+}
+
+// Read returns the word at addr: raw low bits, decoded high bits.
+func (p *PECC) Read(addr int) uint32 {
+	p.stats.Reads++
+	raw := p.arr.Read(addr)
+	lowMask := (uint64(1) << uint(p.lowBits)) - 1
+	low := uint32(raw & lowMask)
+	hi, st, _ := p.code.Decode(raw >> uint(p.lowBits))
+	switch st {
+	case ecc.Corrected:
+		p.stats.Corrected++
+	case ecc.DetectedUncorrectable:
+		p.stats.Uncorrectable++
+	}
+	return low | uint32(hi)<<uint(p.lowBits)
+}
+
+// Write stores v at addr, encoding only the protected high bits.
+func (p *PECC) Write(addr int, v uint32) {
+	lowMask := (uint32(1) << uint(p.lowBits)) - 1
+	cw := p.code.Encode(uint64(v >> uint(p.lowBits)))
+	p.arr.Write(addr, uint64(v&lowMask)|cw<<uint(p.lowBits))
+}
+
+// ProtectedBits returns the number of protected most significant bits.
+func (p *PECC) ProtectedBits() int { return DataWidth - p.lowBits }
+
+// Words returns the address space size.
+func (p *PECC) Words() int { return p.arr.Rows() }
+
+// Stats returns the decode outcome counters.
+func (p *PECC) Stats() Stats { return p.stats }
+
+// Code returns the SECDED code protecting the upper half.
+func (p *PECC) Code() *ecc.Code { return p.code }
+
+// Array exposes the underlying physical array (38 columns) for fault
+// studies.
+func (p *PECC) Array() *sram.Array { return p.arr }
+
+// Banked glues several equally sized Word32 banks into one address space.
+// The Fig. 7 experiments use it when a training set exceeds one 16 KB
+// macro: each bank is an independent die sample with its own fault map.
+type Banked struct {
+	banks   []Word32
+	perBank int
+}
+
+// NewBanked combines banks into a single memory. All banks must have the
+// same word count.
+func NewBanked(banks ...Word32) (*Banked, error) {
+	if len(banks) == 0 {
+		return nil, fmt.Errorf("mem: NewBanked with no banks")
+	}
+	per := banks[0].Words()
+	for i, b := range banks {
+		if b.Words() != per {
+			return nil, fmt.Errorf("mem: bank %d has %d words, want %d", i, b.Words(), per)
+		}
+	}
+	return &Banked{banks: banks, perBank: per}, nil
+}
+
+// Read returns the word at the global address addr.
+func (b *Banked) Read(addr int) uint32 {
+	return b.banks[addr/b.perBank].Read(addr % b.perBank)
+}
+
+// Write stores v at the global address addr.
+func (b *Banked) Write(addr int, v uint32) {
+	b.banks[addr/b.perBank].Write(addr%b.perBank, v)
+}
+
+// Words returns the total address space across banks.
+func (b *Banked) Words() int { return b.perBank * len(b.banks) }
+
+// Banks returns the underlying banks.
+func (b *Banked) Banks() []Word32 { return b.banks }
+
+// Compile-time interface checks.
+var (
+	_ Word32 = (*Perfect)(nil)
+	_ Word32 = (*Raw)(nil)
+	_ Word32 = (*ECC)(nil)
+	_ Word32 = (*PECC)(nil)
+	_ Word32 = (*Banked)(nil)
+)

@@ -1,0 +1,92 @@
+// Package mem defines the word-addressable memory abstraction shared by
+// all protection schemes, and the reference implementations the paper
+// compares against: an unprotected faulty memory, full-word H(39,32)
+// SECDED ECC, and H(22,16) priority-based ECC (P-ECC) on the 16 most
+// significant bits. The paper's own scheme (bit-shuffling) lives in
+// internal/core and implements the same interface.
+//
+// Fault geometry convention: fault maps passed to the constructors are in
+// *data geometry* — rows x 32 data bits — regardless of how many physical
+// columns the scheme adds for check bits. Check-bit columns are modeled
+// fault-free by default, matching the paper's Eq. (6) analysis where every
+// failure sits at a data bit position b in [0, W); see DESIGN.md decision
+// notes. ECC and P-ECC accept optional extra check-bit faults for ablation
+// studies.
+package mem
+
+import (
+	"fmt"
+
+	"faultmem/internal/fault"
+	"faultmem/internal/sram"
+)
+
+// Word32 is a 32-bit word-addressable memory.
+type Word32 interface {
+	// Read returns the word at addr (faults and mitigation applied).
+	Read(addr int) uint32
+	// Write stores v at addr.
+	Write(addr int, v uint32)
+	// Words returns the address space size.
+	Words() int
+}
+
+// DataWidth is the logical word width of every memory in this package.
+const DataWidth = 32
+
+// Perfect is an ideal fault-free memory, the golden reference.
+type Perfect struct {
+	data []uint32
+}
+
+// NewPerfect returns a fault-free memory with the given word count.
+func NewPerfect(words int) *Perfect {
+	if words <= 0 {
+		panic(fmt.Sprintf("mem: invalid word count %d", words))
+	}
+	return &Perfect{data: make([]uint32, words)}
+}
+
+// Read returns the word at addr.
+func (p *Perfect) Read(addr int) uint32 { return p.data[addr] }
+
+// Write stores v at addr.
+func (p *Perfect) Write(addr int, v uint32) { p.data[addr] = v }
+
+// Words returns the address space size.
+func (p *Perfect) Words() int { return len(p.data) }
+
+// Raw is an unprotected faulty memory: the "No Correction" arm of the
+// paper's comparisons. Faults corrupt data with nothing in the way.
+type Raw struct {
+	arr *sram.Array
+}
+
+// NewRaw builds an unprotected memory over rows words with the given
+// data-geometry fault map.
+func NewRaw(rows int, faults fault.Map) (*Raw, error) {
+	arr := sram.NewArray(rows, DataWidth)
+	if err := arr.SetFaults(faults); err != nil {
+		return nil, err
+	}
+	return &Raw{arr: arr}, nil
+}
+
+// Read returns the (possibly corrupted) word at addr.
+func (r *Raw) Read(addr int) uint32 { return uint32(r.arr.Read(addr)) }
+
+// Write stores v at addr.
+func (r *Raw) Write(addr int, v uint32) { r.arr.Write(addr, uint64(v)) }
+
+// Words returns the address space size.
+func (r *Raw) Words() int { return r.arr.Rows() }
+
+// Array exposes the underlying bit-cell array (for BIST and tests).
+func (r *Raw) Array() *sram.Array { return r.arr }
+
+// Stats counts decode outcomes of an ECC-protected memory.
+type Stats struct {
+	Reads         uint64 // total read accesses
+	Corrected     uint64 // reads where a single error was repaired
+	Uncorrectable uint64 // reads returning detected-uncorrectable data
+}

@@ -1,0 +1,278 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"faultmem/internal/fault"
+	"faultmem/internal/stats"
+)
+
+func TestPerfectRoundTrip(t *testing.T) {
+	p := NewPerfect(64)
+	if p.Words() != 64 {
+		t.Fatalf("Words = %d", p.Words())
+	}
+	f := func(addr uint8, v uint32) bool {
+		a := int(addr) % 64
+		p.Write(a, v)
+		return p.Read(a) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawExposesFaults(t *testing.T) {
+	m := fault.Map{{Row: 1, Col: 31, Kind: fault.Flip}}
+	r, err := NewRaw(4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Write(1, 0)
+	if got := r.Read(1); got != 1<<31 {
+		t.Errorf("raw read = %#x, want MSB flip", got)
+	}
+	if r.Words() != 4 {
+		t.Errorf("Words = %d", r.Words())
+	}
+}
+
+func TestRawRejectsBadMap(t *testing.T) {
+	if _, err := NewRaw(4, fault.Map{{Row: 0, Col: 40}}); err == nil {
+		t.Error("col 40 accepted for 32-bit data geometry")
+	}
+}
+
+func TestECCCorrectsSingleFaultPerWord(t *testing.T) {
+	// One fault in every word, at every possible data column: full ECC
+	// must always return pristine data.
+	for col := 0; col < 32; col++ {
+		m := fault.Map{{Row: 0, Col: col, Kind: fault.Flip}}
+		e, err := NewECC(1, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []uint32{0, 0xFFFFFFFF, 0xDEADBEEF, 1 << uint(col)} {
+			e.Write(0, v)
+			if got := e.Read(0); got != v {
+				t.Fatalf("col %d v=%#x: ECC read %#x", col, v, got)
+			}
+		}
+	}
+}
+
+func TestECCStatsCounting(t *testing.T) {
+	m := fault.Map{{Row: 0, Col: 5, Kind: fault.Flip}}
+	e, err := NewECC(2, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Write(0, 42)
+	e.Write(1, 43)
+	_ = e.Read(0) // corrected
+	_ = e.Read(1) // clean
+	st := e.Stats()
+	if st.Reads != 2 || st.Corrected != 1 || st.Uncorrectable != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestECCDoubleFaultDetectedNotSilent(t *testing.T) {
+	m := fault.Map{
+		{Row: 0, Col: 3, Kind: fault.Flip},
+		{Row: 0, Col: 27, Kind: fault.Flip},
+	}
+	e, err := NewECC(1, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Write(0, 0)
+	got := e.Read(0)
+	// SECDED cannot correct: raw payload with both flips comes back.
+	want := uint32(1<<3 | 1<<27)
+	if got != want {
+		t.Errorf("double-fault read %#x, want %#x", got, want)
+	}
+	if e.Stats().Uncorrectable != 1 {
+		t.Errorf("uncorrectable count %d", e.Stats().Uncorrectable)
+	}
+}
+
+func TestECCCheckBitFaultTolerated(t *testing.T) {
+	// A single fault in a check-bit cell must not corrupt data.
+	for c := 0; c < 7; c++ {
+		cf := fault.Map{{Row: 0, Col: c, Kind: fault.Flip}}
+		e, err := NewECC(1, nil, cf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Write(0, 0xA5A5A5A5)
+		if got := e.Read(0); got != 0xA5A5A5A5 {
+			t.Errorf("check-bit fault %d corrupted data: %#x", c, got)
+		}
+	}
+}
+
+func TestECCCheckPlusDataFaultUncorrectable(t *testing.T) {
+	// One data fault + one check fault in the same word = double error.
+	e, err := NewECC(1,
+		fault.Map{{Row: 0, Col: 10, Kind: fault.Flip}},
+		fault.Map{{Row: 0, Col: 2, Kind: fault.Flip}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Write(0, 0)
+	_ = e.Read(0)
+	if e.Stats().Uncorrectable != 1 {
+		t.Error("data+check double fault not flagged")
+	}
+}
+
+func TestPECCUpperHalfProtected(t *testing.T) {
+	// Single fault in the MSB half: P-ECC corrects it.
+	for col := 16; col < 32; col++ {
+		m := fault.Map{{Row: 0, Col: col, Kind: fault.Flip}}
+		p, err := NewPECC(1, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Write(0, 0xFFFF0000)
+		if got := p.Read(0); got != 0xFFFF0000 {
+			t.Fatalf("upper fault at %d not corrected: %#x", col, got)
+		}
+	}
+}
+
+func TestPECCLowerHalfUnprotected(t *testing.T) {
+	// Faults in the 16 LSBs pass straight through (the P-ECC weakness the
+	// paper exploits in its comparison).
+	for col := 0; col < 16; col++ {
+		m := fault.Map{{Row: 0, Col: col, Kind: fault.Flip}}
+		p, err := NewPECC(1, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Write(0, 0)
+		if got := p.Read(0); got != 1<<uint(col) {
+			t.Fatalf("lower fault at %d: read %#x, want %#x", col, got, 1<<uint(col))
+		}
+	}
+}
+
+func TestPECCTwoUpperFaultsUncorrectable(t *testing.T) {
+	m := fault.Map{
+		{Row: 0, Col: 20, Kind: fault.Flip},
+		{Row: 0, Col: 30, Kind: fault.Flip},
+	}
+	p, err := NewPECC(1, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Write(0, 0)
+	got := p.Read(0)
+	want := uint32(1<<20 | 1<<30)
+	if got != want {
+		t.Errorf("double upper fault read %#x, want %#x", got, want)
+	}
+	if p.Stats().Uncorrectable != 1 {
+		t.Error("uncorrectable not counted")
+	}
+}
+
+func TestPECCMixedFaults(t *testing.T) {
+	// One lower + one upper fault: upper corrected, lower persists.
+	m := fault.Map{
+		{Row: 0, Col: 2, Kind: fault.Flip},
+		{Row: 0, Col: 29, Kind: fault.Flip},
+	}
+	p, err := NewPECC(1, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Write(0, 0)
+	if got := p.Read(0); got != 1<<2 {
+		t.Errorf("mixed faults read %#x, want %#x", got, uint32(1<<2))
+	}
+}
+
+func TestPECCMaxErrorBoundedByLowerHalf(t *testing.T) {
+	// Any single fault under P-ECC costs at most 2^15 (the worst
+	// unprotected LSB), versus 2^31 for raw.
+	f := func(colRaw uint8, v uint32) bool {
+		col := int(colRaw) % 32
+		p, err := NewPECC(1, fault.Map{{Row: 0, Col: col, Kind: fault.Flip}}, nil)
+		if err != nil {
+			return false
+		}
+		p.Write(0, v)
+		got := p.Read(0)
+		diff := uint64(v ^ got)
+		return diff <= 1<<15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankedAddressing(t *testing.T) {
+	b0 := NewPerfect(8)
+	b1 := NewPerfect(8)
+	bk, err := NewBanked(b0, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bk.Words() != 16 {
+		t.Fatalf("Words = %d", bk.Words())
+	}
+	bk.Write(3, 33)
+	bk.Write(11, 1111)
+	if b0.Read(3) != 33 {
+		t.Error("bank 0 addressing wrong")
+	}
+	if b1.Read(3) != 1111 {
+		t.Error("bank 1 addressing wrong")
+	}
+	if bk.Read(3) != 33 || bk.Read(11) != 1111 {
+		t.Error("banked reads wrong")
+	}
+	if len(bk.Banks()) != 2 {
+		t.Error("Banks() wrong")
+	}
+}
+
+func TestBankedRejectsUneven(t *testing.T) {
+	if _, err := NewBanked(NewPerfect(8), NewPerfect(4)); err == nil {
+		t.Error("uneven banks accepted")
+	}
+	if _, err := NewBanked(); err == nil {
+		t.Error("empty bank list accepted")
+	}
+}
+
+func TestAllSchemesAgreeWhenFaultFree(t *testing.T) {
+	raw, err := NewRaw(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eccm, err := NewECC(16, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pecc, err := NewPECC(16, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mems := []Word32{NewPerfect(16), raw, eccm, pecc}
+	rng := stats.NewRand(9)
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Intn(16)
+		v := uint32(rng.Uint64())
+		for _, m := range mems {
+			m.Write(a, v)
+			if got := m.Read(a); got != v {
+				t.Fatalf("%T fault-free mismatch: %#x != %#x", m, got, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package memstore bridges the data-mining benchmarks and the protected
+// memories: it quantizes floating-point training data to 32-bit
+// fixed-point words, streams them through a mem.Word32 (where bit-cell
+// faults corrupt them), and decodes the result. This realizes §5.2's
+// "functional model of a 16KB memory is used to inject bit-flips" for
+// datasets of any size: the data is paged through the memory, so every
+// page experiences the same persistent fault map — the behaviour of
+// storing a working set in one physical macro.
+package memstore
+
+import (
+	"fmt"
+	"math"
+
+	"faultmem/internal/mat"
+	"faultmem/internal/mem"
+)
+
+// Codec converts between float64 and Q(31-Frac).Frac signed fixed-point
+// words. The paper's benchmarks store 2's-complement integers (§3); the
+// default Q16.16 format covers every feature range in the Table 1
+// datasets with 2^-16 resolution.
+type Codec struct {
+	// Frac is the number of fractional bits (0..31).
+	Frac int
+}
+
+// DefaultCodec returns the Q16.16 codec.
+func DefaultCodec() Codec { return Codec{Frac: 16} }
+
+// scale returns 2^Frac.
+func (c Codec) scale() float64 {
+	return math.Ldexp(1, c.Frac)
+}
+
+// Max returns the largest representable value.
+func (c Codec) Max() float64 { return float64(math.MaxInt32) / c.scale() }
+
+// Min returns the smallest (most negative) representable value.
+func (c Codec) Min() float64 { return float64(math.MinInt32) / c.scale() }
+
+// Encode quantizes f to a fixed-point word, saturating at the format
+// limits (NaN encodes as 0).
+func (c Codec) Encode(f float64) uint32 {
+	if c.Frac < 0 || c.Frac > 31 {
+		panic(fmt.Sprintf("memstore: fractional bits %d outside [0,31]", c.Frac))
+	}
+	if math.IsNaN(f) {
+		return 0
+	}
+	v := math.Round(f * c.scale())
+	if v > math.MaxInt32 {
+		v = math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		v = math.MinInt32
+	}
+	return uint32(int32(v))
+}
+
+// Decode converts a fixed-point word back to float64.
+func (c Codec) Decode(w uint32) float64 {
+	return float64(int32(w)) / c.scale()
+}
+
+// RoundTripValues writes vals through the memory page by page and
+// returns the decoded read-back. len(vals) may exceed the memory size;
+// every page reuses the same words (and therefore the same fault map).
+func (c Codec) RoundTripValues(m mem.Word32, vals []float64) []float64 {
+	words := m.Words()
+	if words == 0 {
+		panic("memstore: empty memory")
+	}
+	out := make([]float64, len(vals))
+	for start := 0; start < len(vals); start += words {
+		end := start + words
+		if end > len(vals) {
+			end = len(vals)
+		}
+		for i := start; i < end; i++ {
+			m.Write(i-start, c.Encode(vals[i]))
+		}
+		for i := start; i < end; i++ {
+			out[i] = c.Decode(m.Read(i - start))
+		}
+	}
+	return out
+}
+
+// RoundTripMatrix round-trips a matrix (row-major) through the memory.
+func (c Codec) RoundTripMatrix(m mem.Word32, x *mat.Dense) *mat.Dense {
+	rows, cols := x.Dims()
+	flat := make([]float64, 0, rows*cols)
+	for i := 0; i < rows; i++ {
+		flat = append(flat, x.RawRow(i)...)
+	}
+	back := c.RoundTripValues(m, flat)
+	out := mat.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			out.Set(i, j, back[i*cols+j])
+		}
+	}
+	return out
+}
+
+// RoundTripDataset round-trips features and targets: the paper stores
+// the entire training dataset in the unreliable memory (§5.2), so the
+// label vector is corrupted alongside the feature matrix.
+func (c Codec) RoundTripDataset(m mem.Word32, x *mat.Dense, y []float64) (*mat.Dense, []float64) {
+	rows, cols := x.Dims()
+	if rows != len(y) {
+		panic("memstore: X/Y length mismatch")
+	}
+	flat := make([]float64, 0, rows*cols+len(y))
+	for i := 0; i < rows; i++ {
+		flat = append(flat, x.RawRow(i)...)
+	}
+	flat = append(flat, y...)
+	back := c.RoundTripValues(m, flat)
+	xOut := mat.NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			xOut.Set(i, j, back[i*cols+j])
+		}
+	}
+	yOut := append([]float64(nil), back[rows*cols:]...)
+	return xOut, yOut
+}
+
+// WordsNeeded returns the number of 32-bit words a dataset of the given
+// shape occupies (features + labels).
+func WordsNeeded(rows, cols int) int { return rows*cols + rows }

@@ -1,0 +1,175 @@
+package memstore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"faultmem/internal/fault"
+	"faultmem/internal/mat"
+	"faultmem/internal/mem"
+	"faultmem/internal/stats"
+)
+
+func TestCodecRoundTripExactness(t *testing.T) {
+	c := DefaultCodec()
+	f := func(raw int32) bool {
+		// Any representable fixed-point value round-trips exactly.
+		v := float64(raw) / 65536.0
+		return c.Decode(c.Encode(v)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecQuantizationError(t *testing.T) {
+	c := DefaultCodec()
+	rng := stats.NewRand(3)
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64() * 100
+		got := c.Decode(c.Encode(v))
+		if math.Abs(got-v) > 1.0/65536.0 {
+			t.Fatalf("quantization error %g for %g", got-v, v)
+		}
+	}
+}
+
+func TestCodecSaturation(t *testing.T) {
+	c := DefaultCodec()
+	if got := c.Decode(c.Encode(1e9)); got != c.Max() {
+		t.Errorf("positive saturation -> %g, want %g", got, c.Max())
+	}
+	if got := c.Decode(c.Encode(-1e9)); got != c.Min() {
+		t.Errorf("negative saturation -> %g, want %g", got, c.Min())
+	}
+	if got := c.Encode(math.NaN()); got != 0 {
+		t.Errorf("NaN encodes to %#x", got)
+	}
+}
+
+func TestCodecSignHandling(t *testing.T) {
+	c := DefaultCodec()
+	if c.Decode(c.Encode(-1.5)) != -1.5 {
+		t.Error("negative value mangled")
+	}
+	// MSB flip of a small positive number produces a hugely negative one:
+	// the error-magnitude mechanism of the paper.
+	w := c.Encode(1.0)
+	flipped := w ^ (1 << 31)
+	if c.Decode(flipped) >= 0 {
+		t.Error("MSB flip should produce a negative value")
+	}
+	if math.Abs(c.Decode(flipped)-c.Decode(w)) < 30000 {
+		t.Error("MSB flip error magnitude implausibly small")
+	}
+}
+
+func TestRoundTripValuesPerfectMemory(t *testing.T) {
+	c := DefaultCodec()
+	m := mem.NewPerfect(8)
+	vals := []float64{0, 1.25, -3.5, 100.0625, -0.0000152587890625}
+	got := c.RoundTripValues(m, vals)
+	for i, v := range vals {
+		if got[i] != v {
+			t.Errorf("val %d: %g != %g", i, got[i], v)
+		}
+	}
+}
+
+func TestRoundTripPagesThroughSmallMemory(t *testing.T) {
+	// 3-word memory, 10 values: pages reuse the same words and the same
+	// fault map. A flip fault at word 1, bit 31 corrupts values at flat
+	// indexes 1, 4, 7 (every page's second word).
+	c := DefaultCodec()
+	fm := fault.Map{{Row: 1, Col: 31, Kind: fault.Flip}}
+	raw, err := mem.NewRaw(3, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, 10)
+	got := c.RoundTripValues(raw, vals)
+	for i, v := range got {
+		if i%3 == 1 {
+			if v == 0 {
+				t.Errorf("index %d should be corrupted", i)
+			}
+		} else if v != 0 {
+			t.Errorf("index %d corrupted unexpectedly: %g", i, v)
+		}
+	}
+}
+
+func TestRoundTripMatrix(t *testing.T) {
+	c := DefaultCodec()
+	x := mat.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	m := mem.NewPerfect(4)
+	got := c.RoundTripMatrix(m, x)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != x.At(i, j) {
+				t.Errorf("(%d,%d): %g != %g", i, j, got.At(i, j), x.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRoundTripDatasetCorruption(t *testing.T) {
+	// An MSB fault must visibly corrupt some entries but leave the
+	// fraction bounded by the fault geometry.
+	c := DefaultCodec()
+	fm := fault.Map{{Row: 0, Col: 31, Kind: fault.Flip}}
+	raw, err := mem.NewRaw(64, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.NewDense(32, 4)
+	y := make([]float64, 32)
+	xc, yc := c.RoundTripDataset(raw, x, y)
+	corrupted := 0
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 4; j++ {
+			if xc.At(i, j) != 0 {
+				corrupted++
+			}
+		}
+		if yc[i] != 0 {
+			corrupted++
+		}
+	}
+	// 160 words through a 64-word memory = 3 pages -> 3 corrupted words.
+	if corrupted != 3 {
+		t.Errorf("%d corrupted entries, want 3", corrupted)
+	}
+}
+
+func TestWordsNeeded(t *testing.T) {
+	if WordsNeeded(100, 11) != 1200 {
+		t.Errorf("WordsNeeded = %d", WordsNeeded(100, 11))
+	}
+}
+
+func TestRoundTripThroughECCIsClean(t *testing.T) {
+	// Single fault per word + full ECC: dataset must round-trip intact.
+	c := DefaultCodec()
+	rng := stats.NewRand(5)
+	var fm fault.Map
+	for r := 0; r < 16; r++ {
+		fm = append(fm, fault.Fault{Row: r, Col: rng.Intn(32), Kind: fault.Flip})
+	}
+	eccm, err := mem.NewECC(16, fm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 10
+	}
+	got := c.RoundTripValues(eccm, vals)
+	for i := range vals {
+		want := c.Decode(c.Encode(vals[i]))
+		if got[i] != want {
+			t.Errorf("val %d corrupted through ECC: %g vs %g", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"faultmem/internal/mat"
+)
+
+// KNN is a k-nearest-neighbors classifier with Euclidean distance and
+// majority voting (ties broken toward the smallest label, matching a
+// stable deterministic rule).
+type KNN struct {
+	// K is the neighbor count (default 5).
+	K int
+	// Standardize selects whether features are scaled to zero mean / unit
+	// variance before distance computation. Scikit-Learn's
+	// KNeighborsClassifier — the paper's implementation [21] — computes
+	// distances on raw features, so the Fig. 7 experiments leave this
+	// false; NewKNN defaults to false accordingly.
+	Standardize bool
+
+	scaler *mat.Standardizer
+	train  *mat.Dense
+	labels []float64
+}
+
+// NewKNN returns a classifier with k neighbors on raw features
+// (Scikit-Learn-compatible behaviour).
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit stores the training set.
+func (m *KNN) Fit(x *mat.Dense, y []float64) error {
+	n, _ := x.Dims()
+	if n != len(y) {
+		return fmt.Errorf("ml: X rows %d != y length %d", n, len(y))
+	}
+	if m.K < 1 {
+		return fmt.Errorf("ml: K must be positive, got %d", m.K)
+	}
+	if n < m.K {
+		return fmt.Errorf("ml: %d training samples < K=%d", n, m.K)
+	}
+	if m.Standardize {
+		m.scaler = mat.FitStandardizer(x)
+		m.train = m.scaler.Apply(x)
+	} else {
+		m.scaler = nil
+		m.train = x.Clone()
+	}
+	m.labels = append([]float64(nil), y...)
+	return nil
+}
+
+// Predict classifies each row of x.
+func (m *KNN) Predict(x *mat.Dense) []float64 {
+	if m.train == nil {
+		panic("ml: KNN.Predict before Fit")
+	}
+	z := x
+	if m.scaler != nil {
+		z = m.scaler.Apply(x)
+	}
+	n, _ := z.Dims()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.predictOne(z.RawRow(i))
+	}
+	return out
+}
+
+type neighbor struct {
+	dist  float64
+	label float64
+}
+
+func (m *KNN) predictOne(q []float64) float64 {
+	// Maintain the K best neighbors by insertion into a small sorted
+	// buffer — K is tiny compared to the training size.
+	best := make([]neighbor, 0, m.K)
+	nTrain, _ := m.train.Dims()
+	for t := 0; t < nTrain; t++ {
+		d := mat.SqDist(q, m.train.RawRow(t))
+		if len(best) < m.K {
+			best = append(best, neighbor{d, m.labels[t]})
+			if len(best) == m.K {
+				sort.Slice(best, func(a, b int) bool { return best[a].dist < best[b].dist })
+			}
+			continue
+		}
+		if d >= best[m.K-1].dist {
+			continue
+		}
+		pos := sort.Search(m.K, func(i int) bool { return best[i].dist > d })
+		copy(best[pos+1:], best[pos:m.K-1])
+		best[pos] = neighbor{d, m.labels[t]}
+	}
+	if len(best) < m.K {
+		sort.Slice(best, func(a, b int) bool { return best[a].dist < best[b].dist })
+	}
+	votes := make(map[float64]int, m.K)
+	for _, nb := range best {
+		votes[nb.label]++
+	}
+	bestLabel, bestVotes := 0.0, -1
+	for label, v := range votes {
+		if v > bestVotes || (v == bestVotes && label < bestLabel) {
+			bestLabel, bestVotes = label, v
+		}
+	}
+	return bestLabel
+}
+
+// Score returns the classification accuracy on (x, y): the "Score"
+// quality metric of the KNN row in Table 1.
+func (m *KNN) Score(x *mat.Dense, y []float64) float64 {
+	return Accuracy(y, m.Predict(x))
+}

@@ -1,0 +1,70 @@
+package ml
+
+import "fmt"
+
+// R2 returns the coefficient of determination of predictions against
+// ground truth: 1 - SS_res/SS_tot. It can be negative for models worse
+// than predicting the mean — exactly what heavy memory corruption
+// produces in Fig. 7a.
+func R2(yTrue, yPred []float64) float64 {
+	if len(yTrue) != len(yPred) {
+		panic(fmt.Sprintf("ml: R2 length mismatch %d vs %d", len(yTrue), len(yPred)))
+	}
+	if len(yTrue) == 0 {
+		panic("ml: R2 of empty input")
+	}
+	mean := 0.0
+	for _, v := range yTrue {
+		mean += v
+	}
+	mean /= float64(len(yTrue))
+	ssRes, ssTot := 0.0, 0.0
+	for i := range yTrue {
+		r := yTrue[i] - yPred[i]
+		ssRes += r * r
+		d := yTrue[i] - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Accuracy returns the fraction of exact label matches.
+func Accuracy(yTrue, yPred []float64) float64 {
+	if len(yTrue) != len(yPred) {
+		panic(fmt.Sprintf("ml: Accuracy length mismatch %d vs %d", len(yTrue), len(yPred)))
+	}
+	if len(yTrue) == 0 {
+		panic("ml: Accuracy of empty input")
+	}
+	hits := 0
+	for i := range yTrue {
+		if yTrue[i] == yPred[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(yTrue))
+}
+
+// NormalizeQuality maps a raw metric to the [0, 1] normalized quality of
+// Fig. 7: the faulty-run metric over the fault-free metric, clamped to
+// [0, 1] (corruption can drive R² negative; quality cannot exceed the
+// fault-free reference by definition of the normalization).
+func NormalizeQuality(faulty, clean float64) float64 {
+	if clean <= 0 {
+		panic(fmt.Sprintf("ml: non-positive clean reference metric %g", clean))
+	}
+	q := faulty / clean
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}

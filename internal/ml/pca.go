@@ -1,0 +1,133 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"faultmem/internal/mat"
+)
+
+// PCA is principal component analysis via the covariance matrix and the
+// Jacobi symmetric eigensolver.
+type PCA struct {
+	// Components is the number of principal components to retain.
+	Components int
+	// Standardize selects correlation-matrix PCA (zero mean / unit
+	// variance). Scikit-Learn's PCA — the paper's implementation [21] —
+	// only centers the data, so the Fig. 7 experiments leave this false.
+	Standardize bool
+
+	scaler  *mat.Standardizer
+	vectors *mat.Dense // d x Components, orthonormal columns
+	values  []float64  // all d eigenvalues, descending
+}
+
+// NewPCA returns a model retaining k components on centered raw features
+// (Scikit-Learn-compatible behaviour).
+func NewPCA(k int) *PCA { return &PCA{Components: k} }
+
+// Fit learns the principal subspace from the training set.
+func (p *PCA) Fit(x *mat.Dense) error {
+	n, d := x.Dims()
+	if n < 2 {
+		return fmt.Errorf("ml: PCA needs at least 2 samples, have %d", n)
+	}
+	if p.Components < 1 || p.Components > d {
+		return fmt.Errorf("ml: PCA components %d outside [1,%d]", p.Components, d)
+	}
+	if p.Standardize {
+		p.scaler = mat.FitStandardizer(x)
+	} else {
+		p.scaler = &mat.Standardizer{Mean: mat.ColMeans(x), Std: ones(d)}
+	}
+	z := p.scaler.Apply(x)
+	vals, vecs := mat.EigenSym(mat.Covariance(z))
+	p.values = vals
+	p.vectors = mat.NewDense(d, p.Components)
+	for j := 0; j < p.Components; j++ {
+		for i := 0; i < d; i++ {
+			p.vectors.Set(i, j, vecs.At(i, j))
+		}
+	}
+	return nil
+}
+
+// ExplainedVarianceRatio returns the training-eigenvalue ratio: the sum
+// of the retained eigenvalues over the total (negative eigenvalues from
+// numerical noise clamp to zero).
+func (p *PCA) ExplainedVarianceRatio() float64 {
+	if p.values == nil {
+		panic("ml: PCA.ExplainedVarianceRatio before Fit")
+	}
+	top, total := 0.0, 0.0
+	for i, v := range p.values {
+		if v < 0 {
+			v = 0
+		}
+		if i < p.Components {
+			top += v
+		}
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}
+
+// ExplainedVarianceOn measures how much of the variance of a held-out
+// set the learned subspace captures: 1 - ||Z - VV'Z||² / ||Z||², where Z
+// is x standardized by the model's scaler and V the component matrix.
+// This is the quality metric of the PCA row in Table 1 as evaluated in
+// Fig. 7b: a model trained on fault-corrupted data keeps less of the
+// clean test data's variance.
+func (p *PCA) ExplainedVarianceOn(x *mat.Dense) float64 {
+	if p.vectors == nil {
+		panic("ml: PCA.ExplainedVarianceOn before Fit")
+	}
+	z := p.scaler.Apply(x)
+	n, d := z.Dims()
+	_ = d
+	total, kept := 0.0, 0.0
+	k := p.Components
+	proj := make([]float64, k)
+	for i := 0; i < n; i++ {
+		row := z.RawRow(i)
+		for j := 0; j < k; j++ {
+			s := 0.0
+			for a, v := range row {
+				s += v * p.vectors.At(a, j)
+			}
+			proj[j] = s
+		}
+		for _, v := range row {
+			total += v * v
+		}
+		for _, s := range proj {
+			kept += s * s
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	r := kept / total
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// Transform projects x onto the retained components (rows = samples,
+// cols = component scores).
+func (p *PCA) Transform(x *mat.Dense) *mat.Dense {
+	if p.vectors == nil {
+		panic("ml: PCA.Transform before Fit")
+	}
+	return mat.Mul(p.scaler.Apply(x), p.vectors)
+}
+
+// Eigenvalues returns a copy of all eigenvalues in descending order.
+func (p *PCA) Eigenvalues() []float64 { return append([]float64(nil), p.values...) }

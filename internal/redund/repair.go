@@ -1,0 +1,222 @@
+// Package redund implements the traditional yield-repair baseline the
+// paper argues against in §2: spare rows and columns that replace any
+// line containing a faulty cell. It provides the classic repair-allocation
+// algorithm (must-repair analysis followed by branch-and-bound cover) and
+// a functional repaired memory, so the economics claim — "as the number
+// of failures increases, the number of redundant rows/columns required
+// ... increases tremendously" [15] — can be measured instead of cited.
+package redund
+
+import (
+	"fmt"
+	"sort"
+
+	"faultmem/internal/fault"
+)
+
+// Budget is the available spare lines of a die.
+type Budget struct {
+	SpareRows int
+	SpareCols int
+}
+
+// Allocation is a repair solution: which rows and columns are replaced.
+type Allocation struct {
+	Rows []int
+	Cols []int
+}
+
+// Allocate decides whether the fault map can be fully repaired within
+// the budget and returns one feasible allocation if so. The problem
+// (cover every fault by replacing its row or its column, with separate
+// row/column budgets) is NP-complete in general; the standard practical
+// algorithm is used:
+//
+//  1. must-repair: a row with more faults than the column budget can
+//     only be fixed by a spare row (and symmetrically), iterated to a
+//     fixed point;
+//  2. the sparse residue is solved exactly by depth-first branch and
+//     bound over the remaining faults.
+//
+// Fault counts in this paper's regime (tens to a few hundred per die)
+// resolve in microseconds.
+func Allocate(faults fault.Map, b Budget) (Allocation, bool) {
+	if b.SpareRows < 0 || b.SpareCols < 0 {
+		panic(fmt.Sprintf("redund: negative budget %+v", b))
+	}
+	type cell struct{ r, c int }
+	remaining := make(map[cell]struct{}, len(faults))
+	for _, f := range faults {
+		remaining[cell{f.Row, f.Col}] = struct{}{}
+	}
+	usedRows := map[int]bool{}
+	usedCols := map[int]bool{}
+	rowBudget, colBudget := b.SpareRows, b.SpareCols
+
+	removeLine := func(isRow bool, idx int) {
+		for k := range remaining {
+			if (isRow && k.r == idx) || (!isRow && k.c == idx) {
+				delete(remaining, k)
+			}
+		}
+	}
+
+	// Must-repair iteration.
+	for {
+		changed := false
+		rowCount := map[int]int{}
+		colCount := map[int]int{}
+		for k := range remaining {
+			rowCount[k.r]++
+			colCount[k.c]++
+		}
+		for r, n := range rowCount {
+			if n > colBudget {
+				if rowBudget == 0 {
+					return Allocation{}, false
+				}
+				usedRows[r] = true
+				rowBudget--
+				removeLine(true, r)
+				changed = true
+			}
+		}
+		colCount = map[int]int{}
+		for k := range remaining {
+			colCount[k.c]++
+		}
+		for c, n := range colCount {
+			if n > rowBudget {
+				if colBudget == 0 {
+					return Allocation{}, false
+				}
+				usedCols[c] = true
+				colBudget--
+				removeLine(false, c)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Branch and bound over the sparse residue, pruned by the König
+	// bound: the uncovered faults' maximum matching is a lower bound on
+	// the lines any completion still needs, so a node whose bound
+	// exceeds its remaining budget is dead.
+	cells := make([]cell, 0, len(remaining))
+	for k := range remaining {
+		cells = append(cells, k)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].r != cells[j].r {
+			return cells[i].r < cells[j].r
+		}
+		return cells[i].c < cells[j].c
+	})
+
+	bound := func(rows, cols map[int]bool) int {
+		var residue fault.Map
+		for _, k := range cells {
+			if !rows[k.r] && !cols[k.c] {
+				residue = append(residue, fault.Fault{Row: k.r, Col: k.c})
+			}
+		}
+		return MinSpares(residue)
+	}
+
+	var solve func(idx, rb, cb int, rows, cols map[int]bool) bool
+	solve = func(idx, rb, cb int, rows, cols map[int]bool) bool {
+		for idx < len(cells) {
+			k := cells[idx]
+			if rows[k.r] || cols[k.c] {
+				idx++
+				continue
+			}
+			break
+		}
+		if idx == len(cells) {
+			for r := range rows {
+				usedRows[r] = true
+			}
+			for c := range cols {
+				usedCols[c] = true
+			}
+			return true
+		}
+		if rb == 0 && cb == 0 {
+			return false
+		}
+		if bound(rows, cols) > rb+cb {
+			return false
+		}
+		k := cells[idx]
+		if rb > 0 {
+			rows[k.r] = true
+			if solve(idx+1, rb-1, cb, rows, cols) {
+				return true
+			}
+			delete(rows, k.r)
+		}
+		if cb > 0 {
+			cols[k.c] = true
+			if solve(idx+1, rb, cb-1, rows, cols) {
+				return true
+			}
+			delete(cols, k.c)
+		}
+		return false
+	}
+	if !solve(0, rowBudget, colBudget, map[int]bool{}, map[int]bool{}) {
+		return Allocation{}, false
+	}
+
+	alloc := Allocation{}
+	for r := range usedRows {
+		alloc.Rows = append(alloc.Rows, r)
+	}
+	for c := range usedCols {
+		alloc.Cols = append(alloc.Cols, c)
+	}
+	sort.Ints(alloc.Rows)
+	sort.Ints(alloc.Cols)
+	return alloc, true
+}
+
+// MinSpares returns the minimum total number of spare lines (rows +
+// columns, any split) that repairs the fault map. By König's theorem the
+// minimum line cover of the fault bipartite graph equals its maximum
+// matching, computed here with the standard augmenting-path algorithm.
+// This is the information-theoretic floor any budgeted allocation must
+// respect.
+func MinSpares(faults fault.Map) int {
+	// Build adjacency row -> cols.
+	adj := map[int][]int{}
+	for _, f := range faults {
+		adj[f.Row] = append(adj[f.Row], f.Col)
+	}
+	matchCol := map[int]int{} // col -> row
+	var try func(r int, seen map[int]bool) bool
+	try = func(r int, seen map[int]bool) bool {
+		for _, c := range adj[r] {
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			prev, taken := matchCol[c]
+			if !taken || try(prev, seen) {
+				matchCol[c] = r
+				return true
+			}
+		}
+		return false
+	}
+	matching := 0
+	for r := range adj {
+		if try(r, map[int]bool{}) {
+			matching++
+		}
+	}
+	return matching
+}

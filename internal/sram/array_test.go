@@ -1,0 +1,173 @@
+package sram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"faultmem/internal/fault"
+	"faultmem/internal/stats"
+)
+
+func TestNewArrayDims(t *testing.T) {
+	a := NewArray(8, 32)
+	if a.Rows() != 8 || a.Width() != 32 || a.Cells() != 256 {
+		t.Fatalf("dims: rows=%d width=%d cells=%d", a.Rows(), a.Width(), a.Cells())
+	}
+}
+
+func Test16KBPreset(t *testing.T) {
+	a := New16KB()
+	if a.Rows() != 4096 || a.Width() != 32 {
+		t.Fatalf("16KB macro is %dx%d", a.Rows(), a.Width())
+	}
+	if Rows16KB(32) != 4096 || Rows16KB(16) != 8192 || Rows16KB(64) != 2048 {
+		t.Error("Rows16KB wrong")
+	}
+}
+
+func TestFaultFreeRoundTrip(t *testing.T) {
+	a := NewArray(16, 32)
+	f := func(row uint8, v uint64) bool {
+		r := int(row) % 16
+		v &= 0xFFFFFFFF
+		a.Write(r, v)
+		return a.Read(r) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidthMasking(t *testing.T) {
+	a := NewArray(2, 8)
+	a.Write(0, 0x1FF) // 9 bits; top bit must be dropped
+	if got := a.Read(0); got != 0xFF {
+		t.Errorf("width mask violated: %#x", got)
+	}
+}
+
+func TestFlipFault(t *testing.T) {
+	a := NewArray(4, 32)
+	m := fault.Map{{Row: 1, Col: 31, Kind: fault.Flip}}
+	if err := a.SetFaults(m); err != nil {
+		t.Fatal(err)
+	}
+	a.Write(1, 0)
+	if got := a.Read(1); got != 1<<31 {
+		t.Errorf("flip at MSB: read %#x, want %#x", got, uint64(1)<<31)
+	}
+	a.Write(1, 1<<31)
+	if got := a.Read(1); got != 0 {
+		t.Errorf("flip of stored 1: read %#x, want 0", got)
+	}
+	// Other rows untouched.
+	a.Write(0, 0xDEADBEEF)
+	if a.Read(0) != 0xDEADBEEF {
+		t.Error("fault leaked to clean row")
+	}
+}
+
+func TestStuckAtFaults(t *testing.T) {
+	a := NewArray(2, 8)
+	m := fault.Map{
+		{Row: 0, Col: 0, Kind: fault.StuckAt0},
+		{Row: 0, Col: 7, Kind: fault.StuckAt1},
+	}
+	if err := a.SetFaults(m); err != nil {
+		t.Fatal(err)
+	}
+	a.Write(0, 0x01) // try to store 1 in the SA0 cell, 0 in the SA1 cell
+	got := a.Read(0)
+	if got&1 != 0 {
+		t.Errorf("SA0 cell read 1: %#x", got)
+	}
+	if got&0x80 == 0 {
+		t.Errorf("SA1 cell read 0: %#x", got)
+	}
+	// Agreeing data passes through unharmed.
+	a.Write(0, 0x80)
+	if a.Read(0) != 0x80 {
+		t.Errorf("agreeing datum corrupted: %#x", a.Read(0))
+	}
+}
+
+func TestSetFaultsAppliesToExistingData(t *testing.T) {
+	a := NewArray(1, 8)
+	a.Write(0, 0xFF)
+	if err := a.SetFaults(fault.Map{{Row: 0, Col: 3, Kind: fault.StuckAt0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Peek(0); got&(1<<3) != 0 {
+		t.Errorf("stuck-at-0 did not corrupt stored data: %#x", got)
+	}
+}
+
+func TestSetFaultsReplacesPrevious(t *testing.T) {
+	a := NewArray(2, 8)
+	if err := a.SetFaults(fault.Map{{Row: 0, Col: 0, Kind: fault.Flip}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetFaults(fault.Map{{Row: 1, Col: 1, Kind: fault.Flip}}); err != nil {
+		t.Fatal(err)
+	}
+	a.Write(0, 0)
+	if a.Read(0) != 0 {
+		t.Error("old fault survived SetFaults")
+	}
+	if len(a.Faults()) != 1 {
+		t.Error("Faults() not replaced")
+	}
+}
+
+func TestSetFaultsRejectsInvalid(t *testing.T) {
+	a := NewArray(2, 8)
+	if err := a.SetFaults(fault.Map{{Row: 5, Col: 0}}); err == nil {
+		t.Error("out-of-range fault accepted")
+	}
+	if err := a.SetFaults(fault.Map{{Row: 0, Col: 0, Kind: fault.Kind(42)}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	a := NewArray(4, 32)
+	a.Write(0, 1)
+	a.Write(1, 2)
+	_ = a.Read(0)
+	r, w := a.AccessCounts()
+	if r != 1 || w != 2 {
+		t.Errorf("counts r=%d w=%d", r, w)
+	}
+	a.ResetAccessCounts()
+	r, w = a.AccessCounts()
+	if r != 0 || w != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestFillAndFaultCountInvariant(t *testing.T) {
+	// Property: with n flip faults and all-zero data, the total number of
+	// set bits across all reads equals n.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := stats.NewRand(seed)
+		n := int(nRaw) % 64
+		a := NewArray(32, 32)
+		m := fault.GenerateCount(rng, 32, 32, n, fault.Flip)
+		if err := a.SetFaults(m); err != nil {
+			return false
+		}
+		a.Fill(0)
+		total := 0
+		for r := 0; r < 32; r++ {
+			v := a.Read(r)
+			for v != 0 {
+				v &= v - 1
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package sram
+
+import (
+	"testing"
+
+	"faultmem/internal/fault"
+	"faultmem/internal/stats"
+)
+
+func TestCouplingRiseTrigger(t *testing.T) {
+	a := NewArray(4, 8)
+	c := fault.Coupling{AggRow: 0, AggCol: 0, VicRow: 2, VicCol: 3, Trigger: fault.Rise}
+	if err := a.SetCouplings([]fault.Coupling{c}); err != nil {
+		t.Fatal(err)
+	}
+	a.Write(2, 0) // victim row holds 0
+	a.Write(0, 1) // aggressor 0 -> 1: fires
+	if got := a.Read(2); got != 1<<3 {
+		t.Errorf("victim not toggled: %#x", got)
+	}
+	a.Write(0, 1) // no transition: must not fire again
+	if got := a.Read(2); got != 1<<3 {
+		t.Errorf("coupling fired without transition: %#x", got)
+	}
+	a.Write(0, 0) // fall: rise-triggered coupling must not fire
+	if got := a.Read(2); got != 1<<3 {
+		t.Errorf("rise coupling fired on fall: %#x", got)
+	}
+	a.Write(0, 1) // rise again: toggles back
+	if got := a.Read(2); got != 0 {
+		t.Errorf("second toggle failed: %#x", got)
+	}
+}
+
+func TestCouplingFallTrigger(t *testing.T) {
+	a := NewArray(2, 8)
+	c := fault.Coupling{AggRow: 0, AggCol: 7, VicRow: 1, VicCol: 0, Trigger: fault.Fall}
+	if err := a.SetCouplings([]fault.Coupling{c}); err != nil {
+		t.Fatal(err)
+	}
+	a.Write(1, 0)
+	a.Write(0, 0x80) // aggressor to 1: no fall
+	if a.Read(1) != 0 {
+		t.Error("fall coupling fired on rise")
+	}
+	a.Write(0, 0) // 1 -> 0: fires
+	if a.Read(1) != 1 {
+		t.Error("fall coupling did not fire")
+	}
+}
+
+func TestCouplingSameRow(t *testing.T) {
+	// Aggressor and victim within one word: the disturbance applies to
+	// the freshly written data.
+	a := NewArray(1, 8)
+	c := fault.Coupling{AggRow: 0, AggCol: 0, VicRow: 0, VicCol: 5, Trigger: fault.Rise}
+	if err := a.SetCouplings([]fault.Coupling{c}); err != nil {
+		t.Fatal(err)
+	}
+	a.Write(0, 0x00)
+	a.Write(0, 0x01) // aggressor rises; victim bit 5 (just written 0) toggles
+	if got := a.Read(0); got != 0x21 {
+		t.Errorf("same-row coupling: %#x, want 0x21", got)
+	}
+}
+
+func TestCouplingStuckVictimImmune(t *testing.T) {
+	// A stuck-at victim cannot be toggled by the disturbance.
+	a := NewArray(2, 8)
+	if err := a.SetFaults(fault.Map{{Row: 1, Col: 0, Kind: fault.StuckAt0}}); err != nil {
+		t.Fatal(err)
+	}
+	c := fault.Coupling{AggRow: 0, AggCol: 0, VicRow: 1, VicCol: 0, Trigger: fault.Rise}
+	if err := a.SetCouplings([]fault.Coupling{c}); err != nil {
+		t.Fatal(err)
+	}
+	a.Write(1, 0)
+	a.Write(0, 1)
+	if a.Read(1) != 0 {
+		t.Error("stuck-at-0 victim toggled")
+	}
+}
+
+func TestCouplingValidation(t *testing.T) {
+	a := NewArray(2, 8)
+	bad := []fault.Coupling{
+		{AggRow: 0, AggCol: 0, VicRow: 0, VicCol: 0, Trigger: fault.Rise},          // same cell
+		{AggRow: 5, AggCol: 0, VicRow: 0, VicCol: 1, Trigger: fault.Rise},          // out of range
+		{AggRow: 0, AggCol: 0, VicRow: 0, VicCol: 1, Trigger: fault.Transition(7)}, // bad trigger
+	}
+	for i, c := range bad {
+		if err := a.SetCouplings([]fault.Coupling{c}); err == nil {
+			t.Errorf("bad coupling %d accepted", i)
+		}
+	}
+	// Clearing works.
+	good := fault.Coupling{AggRow: 0, AggCol: 0, VicRow: 0, VicCol: 1, Trigger: fault.Rise}
+	if err := a.SetCouplings([]fault.Coupling{good}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetCouplings(nil); err != nil {
+		t.Fatal(err)
+	}
+	a.Write(0, 0)
+	a.Write(0, 1)
+	if a.Read(0) != 1 {
+		t.Error("cleared coupling still firing")
+	}
+}
+
+func TestGenerateCouplingsDistinctVictims(t *testing.T) {
+	rng := stats.NewRand(2)
+	cs := fault.GenerateCouplings(rng, 16, 16, 30)
+	if len(cs) != 30 {
+		t.Fatalf("%d couplings", len(cs))
+	}
+	victims := map[[2]int]bool{}
+	for _, c := range cs {
+		if err := c.Validate(16, 16); err != nil {
+			t.Fatal(err)
+		}
+		key := [2]int{c.VicRow, c.VicCol}
+		if victims[key] {
+			t.Fatalf("duplicate victim %v", key)
+		}
+		victims[key] = true
+	}
+}
+
+func TestTransitionNames(t *testing.T) {
+	if fault.Rise.String() != "up" || fault.Fall.String() != "down" {
+		t.Error("transition names wrong")
+	}
+}

@@ -1,0 +1,7 @@
+package sram
+
+import "faultmem/internal/fault"
+
+func faultAt(row, col int) fault.Map {
+	return fault.Map{{Row: row, Col: col, Kind: fault.Flip}}
+}

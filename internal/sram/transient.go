@@ -1,0 +1,42 @@
+package sram
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SetTransient enables per-read transient bit flips (soft errors):
+// independently of the persistent fault map, every cell of a word being
+// read flips with probability rate. A rate of 0 (the default) disables
+// the mechanism.
+//
+// Transient faults are *not* part of the paper's model — its BIST-driven
+// FM-LUT can only target persistent fault locations — but the extension
+// lets the ablation benches show where the scheme's protection ends:
+// ECC corrects a single soft error per word, bit-shuffling does not
+// reduce its magnitude (the flip lands on a random logical bit either
+// way).
+func (a *Array) SetTransient(rate float64, rng *rand.Rand) {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("sram: transient rate %g outside [0,1)", rate))
+	}
+	if rate > 0 && rng == nil {
+		panic("sram: transient faults need an RNG")
+	}
+	a.transientRate = rate
+	a.transientRNG = rng
+}
+
+// transientMask draws the soft-error flip mask for one read.
+func (a *Array) transientMask() uint64 {
+	if a.transientRate == 0 {
+		return 0
+	}
+	var mask uint64
+	for b := 0; b < a.width; b++ {
+		if a.transientRNG.Float64() < a.transientRate {
+			mask |= uint64(1) << uint(b)
+		}
+	}
+	return mask
+}

@@ -1,0 +1,106 @@
+package sram
+
+import (
+	"math"
+	"testing"
+
+	"faultmem/internal/stats"
+)
+
+func TestTransientDisabledByDefault(t *testing.T) {
+	a := NewArray(4, 32)
+	a.Write(0, 0xDEADBEEF)
+	for i := 0; i < 100; i++ {
+		if a.Read(0) != 0xDEADBEEF {
+			t.Fatal("transient flips with rate 0")
+		}
+	}
+}
+
+func TestTransientRateStatistics(t *testing.T) {
+	a := NewArray(1, 32)
+	a.SetTransient(0.25, stats.NewRand(3))
+	a.Write(0, 0)
+	flips := 0
+	const reads = 2000
+	for i := 0; i < reads; i++ {
+		v := a.Read(0)
+		for ; v != 0; v &= v - 1 {
+			flips++
+		}
+	}
+	got := float64(flips) / float64(reads*32)
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("observed flip rate %.4f, want ~0.25", got)
+	}
+}
+
+func TestTransientDoesNotCorruptStorage(t *testing.T) {
+	// Soft errors are read disturbances in this model: the stored value
+	// must stay intact underneath.
+	a := NewArray(1, 32)
+	a.SetTransient(0.5, stats.NewRand(4))
+	a.Write(0, 0xA5A5A5A5)
+	for i := 0; i < 50; i++ {
+		_ = a.Read(0)
+	}
+	if a.Peek(0) != 0xA5A5A5A5 {
+		t.Error("transient reads corrupted storage")
+	}
+	// Disabling restores clean reads.
+	a.SetTransient(0, nil)
+	if a.Read(0) != 0xA5A5A5A5 {
+		t.Error("disable did not restore clean reads")
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	a := NewArray(1, 8)
+	for _, bad := range []float64{-0.1, 1.0, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %g accepted", bad)
+				}
+			}()
+			a.SetTransient(bad, stats.NewRand(1))
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil RNG accepted with positive rate")
+			}
+		}()
+		a.SetTransient(0.1, nil)
+	}()
+}
+
+func TestTransientComposesWithPersistentFaults(t *testing.T) {
+	// A persistent flip fault and transients combine by XOR: over many
+	// reads of zero data, the persistently faulty bit must read 1 far
+	// more often than any clean bit.
+	a := NewArray(1, 32)
+	if err := a.SetFaults(faultAt(0, 7)); err != nil {
+		t.Fatal(err)
+	}
+	a.SetTransient(0.05, stats.NewRand(9))
+	a.Write(0, 0)
+	countFaulty, countClean := 0, 0
+	const reads = 1000
+	for i := 0; i < reads; i++ {
+		v := a.Read(0)
+		if v&(1<<7) != 0 {
+			countFaulty++
+		}
+		if v&(1<<8) != 0 {
+			countClean++
+		}
+	}
+	if countFaulty < reads*8/10 {
+		t.Errorf("persistent bit read 1 only %d/%d times", countFaulty, reads)
+	}
+	if countClean > reads/5 {
+		t.Errorf("clean bit read 1 %d/%d times at rate 0.05", countClean, reads)
+	}
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// WeightedCDF is an empirical cumulative distribution built from weighted
+// observations. The yield model uses it to combine Monte-Carlo samples
+// whose weights come from the fault-count prior Pr(N = n) (Eq. 5).
+//
+// The zero value is empty; Add observations and then query. Queries sort
+// lazily and are safe to interleave with further Adds.
+type WeightedCDF struct {
+	xs     []float64
+	ws     []float64
+	total  float64
+	sorted bool
+}
+
+// Add records an observation x with weight w (w must be non-negative and
+// finite; zero-weight observations are dropped).
+func (c *WeightedCDF) Add(x, w float64) {
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic("stats: invalid CDF weight")
+	}
+	if math.IsNaN(x) {
+		panic("stats: NaN CDF observation")
+	}
+	if w == 0 {
+		return
+	}
+	c.xs = append(c.xs, x)
+	c.ws = append(c.ws, w)
+	c.total += w
+	c.sorted = false
+}
+
+// Len returns the number of retained observations.
+func (c *WeightedCDF) Len() int { return len(c.xs) }
+
+// TotalWeight returns the sum of all observation weights.
+func (c *WeightedCDF) TotalWeight() float64 { return c.total }
+
+func (c *WeightedCDF) sort() {
+	if c.sorted {
+		return
+	}
+	idx := make([]int, len(c.xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return c.xs[idx[i]] < c.xs[idx[j]] })
+	xs := make([]float64, len(c.xs))
+	ws := make([]float64, len(c.ws))
+	for k, i := range idx {
+		xs[k] = c.xs[i]
+		ws[k] = c.ws[i]
+	}
+	c.xs, c.ws = xs, ws
+	c.sorted = true
+}
+
+// P returns the empirical Pr(X <= x). An empty CDF returns 0.
+func (c *WeightedCDF) P(x float64) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	c.sort()
+	// Find the first index with xs[i] > x.
+	i := sort.Search(len(c.xs), func(i int) bool { return c.xs[i] > x })
+	cum := 0.0
+	for k := 0; k < i; k++ {
+		cum += c.ws[k]
+	}
+	return cum / c.total
+}
+
+// Quantile returns the smallest observed x with Pr(X <= x) >= q.
+// It panics on an empty CDF or q outside (0, 1].
+func (c *WeightedCDF) Quantile(q float64) float64 {
+	if c.total == 0 {
+		panic("stats: quantile of empty CDF")
+	}
+	if q <= 0 || q > 1 {
+		panic("stats: quantile level out of (0,1]")
+	}
+	c.sort()
+	target := q * c.total
+	cum := 0.0
+	for i, w := range c.ws {
+		cum += w
+		if cum >= target-1e-12*c.total {
+			return c.xs[i]
+		}
+	}
+	return c.xs[len(c.xs)-1]
+}
+
+// Points returns the CDF evaluated at each distinct observation, as
+// parallel slices (x ascending, cumulative probability). Useful for
+// plotting/rendering the paper's CDF figures.
+func (c *WeightedCDF) Points() (xs, ps []float64) {
+	if c.total == 0 {
+		return nil, nil
+	}
+	c.sort()
+	cum := 0.0
+	for i := 0; i < len(c.xs); i++ {
+		cum += c.ws[i]
+		if i+1 < len(c.xs) && c.xs[i+1] == c.xs[i] {
+			continue
+		}
+		xs = append(xs, c.xs[i])
+		ps = append(ps, cum/c.total)
+	}
+	return xs, ps
+}
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes descriptive statistics of xs. It panics on an empty
+// input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = 0.5 * (sorted[mid-1] + sorted[mid])
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs (0 for n < 2).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}

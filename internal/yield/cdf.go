@@ -1,0 +1,170 @@
+package yield
+
+import (
+	"fmt"
+
+	"faultmem/internal/fault"
+	"faultmem/internal/stats"
+)
+
+// CDFParams configures the Fig. 5 Monte-Carlo experiment: the CDF of the
+// memory MSE under the failure-count prior Pr(N = n) of Eq. (4).
+type CDFParams struct {
+	// Rows and Width define the memory (16 KB of 32-bit words: 4096 x 32).
+	Rows, Width int
+	// Pcell is the bit-cell failure probability (Fig. 5 uses 5e-6).
+	Pcell float64
+	// Trun scales how many Monte-Carlo samples each failure count
+	// receives: samples(n) ~ Pr(N=n) * Trun (the paper uses 1e7; the
+	// default harness uses a smaller value — the CDF shape converges far
+	// earlier — and records the value used).
+	Trun float64
+	// MaxPerCount caps the samples of any single failure count so the
+	// dominant counts cannot exhaust the budget (0 = no cap).
+	MaxPerCount int
+	// MaxFailures bounds the failure-count sweep; 0 selects the count
+	// covering 99.99% of the prior mass, mirroring the paper's Nmax
+	// convention (§5.2 uses the 99% point; Fig. 5 sweeps 1..150).
+	MaxFailures int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultCDFParams returns the Fig. 5 configuration with a laptop-scale
+// sample budget.
+func DefaultCDFParams() CDFParams {
+	return CDFParams{
+		Rows:        4096,
+		Width:       32,
+		Pcell:       5e-6,
+		Trun:        2e5,
+		MaxPerCount: 20000,
+		Seed:        1,
+	}
+}
+
+// Cells returns the bit-cell count M of the configured memory.
+func (p CDFParams) Cells() int { return p.Rows * p.Width }
+
+// CDFResult is the outcome of one scheme's Monte-Carlo sweep.
+type CDFResult struct {
+	Scheme string
+	// CDF is the distribution of the MSE conditioned on N >= 1 failures
+	// (weights follow Pr(N=n), matching Eq. 5's sum from i=1).
+	CDF *stats.WeightedCDF
+	// PZeroFailures is Pr(N=0), the prior mass of fault-free dies (whose
+	// MSE is exactly 0).
+	PZeroFailures float64
+	// Samples is the number of Monte-Carlo memories evaluated.
+	Samples int
+	// MaxFailuresSwept is the largest failure count simulated.
+	MaxFailuresSwept int
+}
+
+// MSECDF runs the Fig. 5 Monte Carlo for one scheme: for every failure
+// count n = 1..Nmax, it draws samples(n) ~ Pr(N=n)*Trun random fault maps
+// (Eq. 4 prior, uniform fault placement), computes the post-mitigation
+// MSE of Eq. (6), and accumulates the weighted CDF of Eq. (5).
+func MSECDF(p CDFParams, s Scheme) CDFResult {
+	if p.Rows <= 0 || p.Width <= 0 || p.Trun <= 0 {
+		panic(fmt.Sprintf("yield: bad CDF params %+v", p))
+	}
+	m := p.Cells()
+	nmax := p.MaxFailures
+	if nmax == 0 {
+		nmax = stats.BinomialQuantile(m, p.Pcell, 0.9999)
+		if nmax < 1 {
+			nmax = 1
+		}
+	}
+	rng := stats.Derive(p.Seed, hashName(s.Name()))
+	cdf := &stats.WeightedCDF{}
+	samples := 0
+	for n := 1; n <= nmax; n++ {
+		w := stats.BinomialPMF(m, p.Pcell, n)
+		if w <= 0 {
+			continue
+		}
+		k := int(w*p.Trun + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if p.MaxPerCount > 0 && k > p.MaxPerCount {
+			k = p.MaxPerCount
+		}
+		per := w / float64(k)
+		for i := 0; i < k; i++ {
+			fm := fault.GenerateCount(rng, p.Rows, p.Width, n, fault.Flip)
+			mse := MSEFromRowFaults(fm.ByRow(), p.Rows, s)
+			cdf.Add(mse, per)
+			samples++
+		}
+	}
+	return CDFResult{
+		Scheme:           s.Name(),
+		CDF:              cdf,
+		PZeroFailures:    stats.BinomialPMF(m, p.Pcell, 0),
+		Samples:          samples,
+		MaxFailuresSwept: nmax,
+	}
+}
+
+// YieldAtMSE returns the quality-aware yield at a target MSE: the
+// probability that a manufactured die satisfies MSE < target, including
+// the fault-free mass Pr(N=0) (Eq. 5 evaluated as a yield criterion, §4).
+func (r CDFResult) YieldAtMSE(target float64) float64 {
+	p0 := r.PZeroFailures
+	if r.CDF.Len() == 0 {
+		return p0
+	}
+	// CDF is conditioned on N>=1 and its total weight approximates
+	// Pr(N>=1); use the actual accumulated mass for consistency.
+	return p0 + r.CDF.TotalWeight()*r.CDF.P(target)
+}
+
+// MSEAtYield returns the smallest MSE target that achieves the requested
+// yield q (the x-axis reading of Fig. 5 at CDF level q). If the fault-free
+// mass alone reaches q it returns 0.
+func (r CDFResult) MSEAtYield(q float64) float64 {
+	if q <= r.PZeroFailures {
+		return 0
+	}
+	if r.CDF.Len() == 0 {
+		panic("yield: empty CDF cannot reach requested yield")
+	}
+	cond := (q - r.PZeroFailures) / r.CDF.TotalWeight()
+	if cond >= 1 {
+		cond = 1
+	}
+	return r.CDF.Quantile(cond)
+}
+
+// ReductionAtYield returns the factor by which scheme a reduces the MSE
+// that must be tolerated at yield level q compared with scheme b:
+// MSE_b(q) / MSE_a(q). The paper reports a minimum 30x reduction for
+// nFM=1 versus no protection (§4).
+func ReductionAtYield(a, b CDFResult, q float64) float64 {
+	ma := a.MSEAtYield(q)
+	mb := b.MSEAtYield(q)
+	if ma == 0 {
+		if mb == 0 {
+			return 1
+		}
+		return inf
+	}
+	return mb / ma
+}
+
+const inf = 1e308
+
+// hashName maps a scheme name to a deterministic RNG stream index.
+func hashName(name string) int64 {
+	var h int64 = 1469598103
+	for _, c := range name {
+		h = (h ^ int64(c)) * 16777619
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

@@ -1,0 +1,134 @@
+// Package yield implements the paper's redefined, quality-aware yield
+// criterion (§4): instead of rejecting every die with one or more failing
+// bit-cells, a die qualifies if its application-level quality metric —
+// approximated by the memory-local mean-square error of Eq. (6) — meets a
+// target. The package evaluates Eqs. (3)-(6): the binomial failure-count
+// prior, the per-scheme residual error after mitigation, the MSE quality
+// function, and the Monte-Carlo CDF of Fig. 5.
+package yield
+
+import (
+	"fmt"
+	"math"
+
+	"faultmem/internal/core"
+)
+
+// Scheme describes how a protection scheme transforms the faulty physical
+// columns of one row into residual logical error positions: the bit
+// significances that can still be corrupted after mitigation. Eq. (6)
+// charges each residual position b an error of 2^b.
+type Scheme interface {
+	// Name identifies the scheme in tables and figures.
+	Name() string
+	// Residual maps the faulty physical columns of one row (data
+	// geometry, sorted or not) to the residual logical fault positions.
+	Residual(cols []int) []int
+}
+
+// Unprotected is the "No Correction" arm: every fault hits its own bit.
+type Unprotected struct{}
+
+// Name implements Scheme.
+func (Unprotected) Name() string { return "No Correction" }
+
+// Residual implements Scheme: faults pass through untouched.
+func (Unprotected) Residual(cols []int) []int {
+	return append([]int(nil), cols...)
+}
+
+// Shuffled is the paper's bit-shuffling scheme at a given configuration.
+type Shuffled struct {
+	Cfg core.Config
+}
+
+// NewShuffled returns the scheme for a 32-bit word at the given nFM.
+func NewShuffled(nfm int) Shuffled {
+	return Shuffled{Cfg: core.Config{Width: 32, NFM: nfm}}
+}
+
+// Name implements Scheme.
+func (s Shuffled) Name() string { return fmt.Sprintf("nFM=%d-Bit", s.Cfg.NFM) }
+
+// Residual implements Scheme via the FM-LUT best-entry rule.
+func (s Shuffled) Residual(cols []int) []int {
+	return s.Cfg.ResidualPositions(cols)
+}
+
+// FullECC is H(39,32) SECDED: a single fault per word is corrected; two
+// or more faults in a word are detected but uncorrectable, so the raw
+// faulty bits come back (SECDED returns the unmodified payload).
+type FullECC struct{}
+
+// Name implements Scheme.
+func (FullECC) Name() string { return "H(39,32) ECC" }
+
+// Residual implements Scheme.
+func (FullECC) Residual(cols []int) []int {
+	if len(cols) <= 1 {
+		return nil
+	}
+	return append([]int(nil), cols...)
+}
+
+// PriorityECC is priority-based ECC: the top Protected bits (16 in the
+// paper's H(22,16) configuration) are covered by SECDED — a single
+// upper fault is corrected, two or more are uncorrectable — while the
+// low-order bits are stored raw and always leak through. The zero value
+// defaults to the paper's 16-bit split.
+type PriorityECC struct {
+	// Protected is the number of protected most significant bits
+	// (0 means 16, the paper's configuration).
+	Protected int
+}
+
+func (p PriorityECC) split() int {
+	if p.Protected == 0 {
+		return 16
+	}
+	return p.Protected
+}
+
+// Name implements Scheme.
+func (p PriorityECC) Name() string {
+	k := p.split()
+	if k == 16 {
+		return "H(22,16) P-ECC"
+	}
+	return fmt.Sprintf("P-ECC top-%d", k)
+}
+
+// Residual implements Scheme.
+func (p PriorityECC) Residual(cols []int) []int {
+	low := 32 - p.split()
+	var lower, upper []int
+	for _, c := range cols {
+		if c < low {
+			lower = append(lower, c)
+		} else {
+			upper = append(upper, c)
+		}
+	}
+	if len(upper) <= 1 {
+		return lower
+	}
+	return append(lower, upper...)
+}
+
+// MSEFromRowFaults evaluates Eq. (6) for one memory sample: given the
+// per-row faulty columns (data geometry) of a memory with rows words, it
+// returns (1/R) * sum over residual failures of (2^b)^2 after the scheme's
+// mitigation.
+func MSEFromRowFaults(rowFaults map[int][]int, rows int, s Scheme) float64 {
+	if rows <= 0 {
+		panic("yield: non-positive row count")
+	}
+	sum := 0.0
+	for _, cols := range rowFaults {
+		for _, b := range s.Residual(cols) {
+			m := math.Ldexp(1, b) // 2^b
+			sum += m * m
+		}
+	}
+	return sum / float64(rows)
+}
