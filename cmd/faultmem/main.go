@@ -128,9 +128,10 @@ func runFig5(args []string) error {
 	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
 	csvOut := fs.Bool("csv", false, "CSV output")
 	seed := fs.Int64("seed", 1, "random seed")
-	trun := fs.Float64("trun", 2e5, "Monte-Carlo budget scale (paper: 1e7)")
+	trun := fs.Float64("trun", 1e6, "Monte-Carlo budget scale (paper: 1e7)")
 	pcell := fs.Float64("pcell", 5e-6, "bit-cell failure probability")
 	targets := fs.Bool("targets", true, "also print the MSE-at-yield-target table")
+	workers := fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = all cores; results identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +139,7 @@ func runFig5(args []string) error {
 	p.CDF.Seed = *seed
 	p.CDF.Trun = *trun
 	p.CDF.Pcell = *pcell
+	p.CDF.Workers = *workers
 	res := exp.Fig5(p)
 	if err := render(res.CDFTable(), *csvOut); err != nil {
 		return err
@@ -174,6 +176,7 @@ func runFig7(args []string) error {
 	trials := fs.Int("trials", 60, "Monte-Carlo trials per protection arm (paper: 500 per failure count)")
 	pcell := fs.Float64("pcell", 1e-3, "bit-cell failure probability")
 	paperPCA := fs.Bool("madelon500", false, "use the full 500-feature Madelon geometry (slow)")
+	workers := fs.Int("workers", 0, "trial worker goroutines (0 = all cores; results identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -191,6 +194,7 @@ func runFig7(args []string) error {
 		p.Trials = *trials
 		p.Pcell = *pcell
 		p.MadelonPaperSize = *paperPCA
+		p.Workers = *workers
 		res, err := exp.Fig7(p)
 		if err != nil {
 			return err
@@ -279,6 +283,7 @@ func runEnergy(args []string) error {
 	dies := fs.Int("dies", 400, "Monte-Carlo dies per (scheme, VDD) point")
 	target := fs.Float64("target", 1e6, "MSE quality target")
 	minYield := fs.Float64("minyield", 0.999, "required quality yield")
+	workers := fs.Int("workers", 0, "die worker goroutines (0 = all cores; results identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -287,6 +292,7 @@ func runEnergy(args []string) error {
 	p.Dies = *dies
 	p.MSETarget = *target
 	p.YieldTarget = *minYield
+	p.Workers = *workers
 	return render(exp.EnergyTable(exp.EnergyStudy(p), p), *csvOut)
 }
 
@@ -294,6 +300,7 @@ func runAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	csvOut := fs.Bool("csv", false, "CSV output")
 	quick := fs.Bool("quick", false, "reduced sample budgets for a fast pass")
+	workers := fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -324,6 +331,8 @@ func runAll(args []string) error {
 
 	banner(os.Stdout, "Fig. 5")
 	p5 := exp.DefaultFig5Params()
+	p5.CDF.Trun = 1e6
+	p5.CDF.Workers = *workers
 	if *quick {
 		p5.CDF.Trun = 2e4
 	}
@@ -347,6 +356,7 @@ func runAll(args []string) error {
 	banner(os.Stdout, "Fig. 7")
 	for _, a := range []exp.App{exp.AppElasticnet, exp.AppPCA, exp.AppKNN} {
 		p7 := exp.DefaultFig7Params(a)
+		p7.Workers = *workers
 		if *quick {
 			p7.Trials = 15
 		}

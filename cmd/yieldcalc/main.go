@@ -29,25 +29,28 @@ func run() error {
 	rows := flag.Int("rows", 4096, "memory depth in 32-bit words (4096 = 16KB)")
 	pcell := flag.Float64("pcell", 5e-6, "bit-cell failure probability (ignored with -sweep)")
 	target := flag.Float64("target", 1e6, "MSE quality target (die qualifies if MSE < target)")
-	trun := flag.Float64("trun", 5e4, "Monte-Carlo budget scale")
+	trun := flag.Float64("trun", 2e5, "Monte-Carlo budget scale")
 	seed := flag.Int64("seed", 1, "random seed")
 	sweep := flag.Bool("sweep", false, "sweep VDD instead of a single Pcell point")
 	minYield := flag.Float64("minyield", 0.999, "yield requirement for the -sweep minimum-VDD report")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = all cores; results identical for any value)")
 	flag.Parse()
 
 	schemes := []exp.Protection{exp.ProtNone, exp.ProtShuffle1, exp.ProtShuffle2,
 		exp.ProtShuffle3, exp.ProtShuffle4, exp.ProtShuffle5, exp.ProtPECC, exp.ProtECC}
 
+	// One engine pass per operating point: every scheme is scored on the
+	// same fault-map samples (common random numbers), so the per-scheme
+	// yield columns are directly comparable.
+	ys := make([]yield.Scheme, len(schemes))
+	for i, s := range schemes {
+		ys[i] = s.YieldScheme()
+	}
 	evalAt := func(p float64) []yield.CDFResult {
-		params := yield.CDFParams{
+		return yield.MSECDFAll(yield.CDFParams{
 			Rows: *rows, Width: 32, Pcell: p,
-			Trun: *trun, MaxPerCount: 10000, Seed: *seed,
-		}
-		out := make([]yield.CDFResult, len(schemes))
-		for i, s := range schemes {
-			out[i] = yield.MSECDF(params, s.YieldScheme())
-		}
-		return out
+			Trun: *trun, MaxPerCount: 10000, Seed: *seed, Workers: *workers,
+		}, ys)
 	}
 
 	if !*sweep {

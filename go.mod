@@ -1,0 +1,3 @@
+module faultmem
+
+go 1.24

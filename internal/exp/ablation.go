@@ -3,10 +3,12 @@ package exp
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"faultmem/internal/core"
 	"faultmem/internal/fault"
 	"faultmem/internal/hw"
+	"faultmem/internal/mc"
 	"faultmem/internal/mem"
 	"faultmem/internal/sram"
 	"faultmem/internal/stats"
@@ -31,32 +33,37 @@ type AblationMultiFaultRow struct {
 
 // AblationMultiFault runs the policy comparison: for each nFM and
 // faults-per-row count, Monte-Carlo rows with k distinct faulty columns
-// are scored under both policies.
+// are scored under both policies. Every (nFM, k) point is one shard of
+// the mc engine — its own deterministic RNG stream, evaluated in
+// parallel, assembled in sweep order.
 func AblationMultiFault(seed int64, trials int) []AblationMultiFaultRow {
 	if trials < 1 {
 		panic("exp: non-positive trial count")
 	}
-	rng := stats.NewRand(seed)
-	var rows []AblationMultiFaultRow
+	type combo struct{ nfm, k int }
+	var combos []combo
 	for nfm := 1; nfm <= 5; nfm++ {
-		cfg := core.Config{Width: 32, NFM: nfm}
 		for _, k := range []int{2, 3, 4} {
-			sumBest, sumPaper := 0.0, 0.0
-			for t := 0; t < trials; t++ {
-				cols := stats.SampleDistinct(rng, 32, k)
-				sumBest += rowMSE(cfg.ResidualPositions(cols))
-				sumPaper += rowMSE(cfg.ResidualPositionsPaperRule(cols))
-			}
-			rows = append(rows, AblationMultiFaultRow{
-				NFM:          nfm,
-				FaultsPerRow: k,
-				MeanMSEBest:  sumBest / float64(trials),
-				MeanMSEPaper: sumPaper / float64(trials),
-				PaperPenalty: sumPaper / sumBest,
-			})
+			combos = append(combos, combo{nfm, k})
 		}
 	}
-	return rows
+	return mc.Run(0, len(combos), seed, func(i int, rng *rand.Rand) AblationMultiFaultRow {
+		c := combos[i]
+		cfg := core.Config{Width: 32, NFM: c.nfm}
+		sumBest, sumPaper := 0.0, 0.0
+		for t := 0; t < trials; t++ {
+			cols := stats.SampleDistinct(rng, 32, c.k)
+			sumBest += rowMSE(cfg.ResidualPositions(cols))
+			sumPaper += rowMSE(cfg.ResidualPositionsPaperRule(cols))
+		}
+		return AblationMultiFaultRow{
+			NFM:          c.nfm,
+			FaultsPerRow: c.k,
+			MeanMSEBest:  sumBest / float64(trials),
+			MeanMSEPaper: sumPaper / float64(trials),
+			PaperPenalty: sumPaper / sumBest,
+		}
+	})
 }
 
 func rowMSE(positions []int) float64 {
@@ -137,17 +144,22 @@ func AblationTransient(seed int64, rows int, pcell float64, rates []float64, rea
 	if rows < 1 || readsPerCell < 1 {
 		return nil, fmt.Errorf("exp: bad transient ablation params")
 	}
-	var out []AblationTransientRow
 	arms := []Protection{ProtNone, ProtShuffle5, ProtPECC, ProtECC}
 	// One persistent fault map shared by every arm and rate, so the rows
-	// differ only in the scheme and the soft-error intensity.
+	// differ only in the scheme and the soft-error intensity. Each
+	// (arm, rate) point then runs as its own shard of the mc engine —
+	// independent functional memories, evaluated in parallel.
 	persistent := fault.GeneratePcell(stats.Derive(seed, 0), rows, 32, pcell, fault.Flip)
-	for armIdx, arm := range arms {
-		for rateIdx, rate := range rates {
-			rng := stats.Derive(seed, int64(1000+100*armIdx+rateIdx))
+	type pointOut struct {
+		row AblationTransientRow
+		err error
+	}
+	outs := mc.Run(0, len(arms)*len(rates), stats.DeriveSeed(seed, 1000),
+		func(i int, rng *rand.Rand) pointOut {
+			arm, rate := arms[i/len(rates)], rates[i%len(rates)]
 			m, err := arm.Build(rows, persistent)
 			if err != nil {
-				return nil, err
+				return pointOut{err: err}
 			}
 			if rate > 0 {
 				arrayOf(m).SetTransient(rate, rng)
@@ -166,12 +178,18 @@ func AblationTransient(seed int64, rows int, pcell float64, rates []float64, rea
 					}
 				}
 			}
-			out = append(out, AblationTransientRow{
+			return pointOut{row: AblationTransientRow{
 				Scheme:        arm,
 				TransientRate: rate,
 				MeanMSE:       sum / float64(rows*readsPerCell),
-			})
+			}}
+		})
+	out := make([]AblationTransientRow, 0, len(outs))
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
 		}
+		out = append(out, o.row)
 	}
 	return out, nil
 }

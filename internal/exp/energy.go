@@ -3,11 +3,13 @@ package exp
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"faultmem/internal/core"
 	"faultmem/internal/ecc"
 	"faultmem/internal/fault"
 	"faultmem/internal/hw"
+	"faultmem/internal/mc"
 	"faultmem/internal/redund"
 	"faultmem/internal/sram"
 	"faultmem/internal/stats"
@@ -34,6 +36,9 @@ type EnergyParams struct {
 	RedundancyBudget redund.Budget
 	// Seed drives the die sampling.
 	Seed int64
+	// Workers is the goroutine count used to evaluate the dies of each
+	// voltage point (0 = GOMAXPROCS); results are worker-count-invariant.
+	Workers int
 }
 
 // DefaultEnergyParams returns the 16 KB setup with the Section 4 quality
@@ -62,14 +67,28 @@ type EnergyRow struct {
 	RelativeToECC float64
 }
 
-// energyArm abstracts "does one die qualify" per scheme.
+// energyArm abstracts "does one die qualify" per scheme. Scheme arms
+// judge the die straight off the sampler's row masks (no allocation);
+// the spare-line arm is the one consumer that needs explicit fault
+// coordinates for the repair allocator.
 type energyArm struct {
 	name string
-	// qualifies reports whether a die with the given fault map meets the
-	// MSE target after this scheme's mitigation.
-	qualifies func(fm fault.Map, rows int, target float64) bool
+	// scheme is the residual-error model; nil selects the redundancy arm.
+	scheme yield.Scheme
 	// overheadEnergy is the scheme's extra read energy at nominal VDD.
 	overheadEnergy float64
+}
+
+// qualifies reports whether the sampler's current die meets the MSE
+// target after this arm's mitigation.
+func (a energyArm) qualifies(s *yield.RowSampler, budget redund.Budget, target float64) bool {
+	if a.scheme != nil {
+		return s.MSE(a.scheme) < target
+	}
+	// A repaired die is fault-free; an unrepairable die is rejected
+	// (fails the criterion outright).
+	_, ok := redund.Allocate(s.Faults(fault.Flip), budget)
+	return ok
 }
 
 // EnergyStudy sweeps VDD for every arm and returns the minimum viable
@@ -96,25 +115,13 @@ func EnergyStudy(p EnergyParams) []EnergyRow {
 		default:
 			ov = hw.ShuffleOverhead(lib, macro, core.Config{Width: 32, NFM: prot.NFM()}).ReadEnergy
 		}
-		return energyArm{
-			name: prot.String(),
-			qualifies: func(fm fault.Map, rows int, target float64) bool {
-				return yield.MSEFromRowFaults(fm.ByRow(), rows, s) < target
-			},
-			overheadEnergy: ov,
-		}
+		return energyArm{name: prot.String(), scheme: s, overheadEnergy: ov}
 	}
 
 	arms := []energyArm{
 		schemeArm(ProtNone),
 		{
 			name: fmt.Sprintf("redundancy %d+%d", p.RedundancyBudget.SpareRows, p.RedundancyBudget.SpareCols),
-			qualifies: func(fm fault.Map, rows int, target float64) bool {
-				// A repaired die is fault-free; an unrepairable die is
-				// rejected (fails the criterion outright).
-				_, ok := redund.Allocate(fm, p.RedundancyBudget)
-				return ok
-			},
 			// Spare columns add read energy like parity columns would;
 			// spare rows are inactive on normal reads.
 			overheadEnergy: float64(p.RedundancyBudget.SpareCols) * macro.ColReadEnergy,
@@ -145,19 +152,35 @@ func EnergyStudy(p EnergyParams) []EnergyRow {
 		if !anyAlive {
 			break
 		}
-		rng := stats.Derive(p.Seed, int64(vIdx))
 		pcell := model.Pcell(v)
-		ok := make([]int, len(arms))
-		for d := 0; d < p.Dies; d++ {
-			n := stats.SampleBinomial(rng, p.Rows*32, pcell)
-			var fm fault.Map
-			if n > 0 {
-				fm = fault.GenerateCount(rng, p.Rows, 32, n, fault.Flip)
-			}
-			for i, arm := range arms {
-				if alive[i] && arm.qualifies(fm, p.Rows, p.MSETarget) {
-					ok[i]++
+		// Evaluate the voltage point's dies on the mc engine: each shard
+		// draws its dies from a stream derived from (seed, vIdx, shard)
+		// and reports per-arm qualification counts, which sum in shard
+		// order — identical for any worker count. Scheme arms are judged
+		// allocation-free off the sampler's row masks.
+		spans := mc.Split(p.Dies, 0)
+		counts := mc.Run(p.Workers, len(spans), stats.DeriveSeed(p.Seed, int64(vIdx)),
+			func(shard int, rng *rand.Rand) []int {
+				sampler := yield.NewRowSampler(p.Rows, 32)
+				ok := make([]int, len(arms))
+				for d := spans[shard].Start; d < spans[shard].End; d++ {
+					n := stats.SampleBinomial(rng, p.Rows*32, pcell)
+					sampler.Reset()
+					if n > 0 {
+						sampler.Draw(rng, n)
+					}
+					for i, arm := range arms {
+						if alive[i] && arm.qualifies(sampler, p.RedundancyBudget, p.MSETarget) {
+							ok[i]++
+						}
+					}
 				}
+				return ok
+			})
+		ok := make([]int, len(arms))
+		for _, shard := range counts {
+			for i, c := range shard {
+				ok[i] += c
 			}
 		}
 		for i := range arms {

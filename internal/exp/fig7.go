@@ -2,11 +2,13 @@ package exp
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"faultmem/internal/dataset"
 	"faultmem/internal/fault"
 	"faultmem/internal/mat"
+	"faultmem/internal/mc"
 	"faultmem/internal/memstore"
 	"faultmem/internal/ml"
 	"faultmem/internal/stats"
@@ -88,6 +90,10 @@ type Fig7Params struct {
 	// MadelonPaperSize switches the PCA benchmark to the full 500-feature
 	// geometry (slow; default false uses 100 features).
 	MadelonPaperSize bool
+	// Workers is the goroutine count the trials run on (0 = GOMAXPROCS).
+	// Each trial is its own deterministic RNG stream, so results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultFig7Params returns the published memory setup with a
@@ -207,7 +213,12 @@ func Fig7Arms() []Protection {
 	return []Protection{ProtNone, ProtPECC, ProtShuffle1, ProtShuffle2}
 }
 
-// Fig7 runs the Monte-Carlo quality experiment for every arm.
+// Fig7 runs the Monte-Carlo quality experiment on the parallel engine:
+// every trial is one shard (own deterministic RNG stream), drawing its
+// die's fault map once and pushing the training set through every
+// protection arm's memory (common random numbers), so the arms' quality
+// CDFs are compared on identical dies and each trial pays fault
+// generation once instead of once per arm.
 func Fig7(p Fig7Params) (Fig7Result, error) {
 	if p.Trials < 1 || p.Rows < 1 || p.Pcell <= 0 || p.Pcell >= 1 {
 		return Fig7Result{}, fmt.Errorf("exp: bad Fig7 params %+v", p)
@@ -219,11 +230,14 @@ func Fig7(p Fig7Params) (Fig7Result, error) {
 	res := Fig7Result{Params: p, CleanMetric: w.clean, ECCReference: 1.0}
 	codec := memstore.DefaultCodec()
 	cells := p.Rows * 32
+	arms := Fig7Arms()
 
-	for armIdx, arm := range Fig7Arms() {
-		rng := stats.Derive(p.Seed, int64(1000+armIdx))
-		qualities := make([]float64, 0, p.Trials)
-		for trial := 0; trial < p.Trials; trial++ {
+	type trialOut struct {
+		qs  []float64 // per-arm normalized quality
+		err error
+	}
+	outs := mc.Run(p.Workers, p.Trials, stats.DeriveSeed(p.Seed, 1000),
+		func(trial int, rng *rand.Rand) trialOut {
 			// Draw the die's failure count from the Eq. (4) prior,
 			// conditioned on at least one failure (fault-free dies have
 			// quality 1 by construction and are excluded from the CDF,
@@ -233,13 +247,26 @@ func Fig7(p Fig7Params) (Fig7Result, error) {
 				n = stats.SampleBinomial(rng, cells, p.Pcell)
 			}
 			fm := fault.GenerateCount(rng, p.Rows, 32, n, fault.Flip)
-			m, err := arm.Build(p.Rows, fm)
-			if err != nil {
-				return Fig7Result{}, err
+			out := trialOut{qs: make([]float64, len(arms))}
+			for ai, arm := range arms {
+				m, err := arm.Build(p.Rows, fm)
+				if err != nil {
+					out.err = err
+					return out
+				}
+				xc, yc := codec.RoundTripDataset(m, w.train.X, w.train.Y)
+				out.qs[ai] = ml.NormalizeQuality(w.evaluate(xc, yc), w.clean)
 			}
-			xc, yc := codec.RoundTripDataset(m, w.train.X, w.train.Y)
-			metric := w.evaluate(xc, yc)
-			qualities = append(qualities, ml.NormalizeQuality(metric, w.clean))
+			return out
+		})
+
+	for ai, arm := range arms {
+		qualities := make([]float64, 0, p.Trials)
+		for _, o := range outs {
+			if o.err != nil {
+				return Fig7Result{}, o.err
+			}
+			qualities = append(qualities, o.qs[ai])
 		}
 		sort.Float64s(qualities)
 		res.Arms = append(res.Arms, Fig7Arm{Scheme: arm, Qualities: qualities})

@@ -1,0 +1,89 @@
+package mc
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func TestRunShardOrderAndDeterminism(t *testing.T) {
+	// Each shard reports its first RNG draw; the result must be identical
+	// for every worker count and indexed by shard.
+	run := func(workers int) []float64 {
+		return Run(workers, 32, 7, func(shard int, rng *rand.Rand) float64 {
+			return float64(shard) + rng.Float64()
+		})
+	}
+	ref := run(1)
+	if len(ref) != 32 {
+		t.Fatalf("got %d results", len(ref))
+	}
+	for i, v := range ref {
+		if int(v) != i {
+			t.Fatalf("result %d out of shard order: %g", i, v)
+		}
+	}
+	for _, w := range []int{2, 3, runtime.GOMAXPROCS(0), 100} {
+		got := run(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d shard %d: %g != %g", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestRunStreamsIndependent(t *testing.T) {
+	// Different shards must draw from different streams.
+	out := Run(1, 8, 1, func(_ int, rng *rand.Rand) float64 { return rng.Float64() })
+	seen := map[float64]bool{}
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("duplicate first draw %g across shards", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRunZeroShards(t *testing.T) {
+	if out := Run[int](4, 0, 1, nil); out != nil {
+		t.Fatalf("zero shards returned %v", out)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Error("non-positive workers should select GOMAXPROCS")
+	}
+	if Workers(5) != 5 {
+		t.Error("positive workers should pass through")
+	}
+}
+
+func TestSplitCoversEverySample(t *testing.T) {
+	for _, tc := range []struct{ total, shards int }{
+		{0, 64}, {1, 64}, {63, 64}, {64, 64}, {1000, 64}, {1000, 7}, {5, 0},
+	} {
+		spans := Split(tc.total, tc.shards)
+		next := 0
+		for _, sp := range spans {
+			if sp.Start != next {
+				t.Fatalf("total=%d shards=%d: gap at %d", tc.total, tc.shards, next)
+			}
+			if sp.End < sp.Start {
+				t.Fatalf("negative span %+v", sp)
+			}
+			next = sp.End
+		}
+		if next != tc.total {
+			t.Fatalf("total=%d shards=%d: covered %d", tc.total, tc.shards, next)
+		}
+		if tc.total > 0 && tc.total < 64 {
+			for _, sp := range spans {
+				if sp.End == sp.Start {
+					t.Fatalf("empty span with total=%d", tc.total)
+				}
+			}
+		}
+	}
+}

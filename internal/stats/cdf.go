@@ -36,6 +36,39 @@ func (c *WeightedCDF) Add(x, w float64) {
 	c.sorted = false
 }
 
+// Reserve pre-allocates capacity for n additional observations, so that a
+// hot loop of Adds performs no further allocations (the Monte-Carlo
+// engine's shard accumulators rely on this for the 0 allocs/op per-sample
+// path).
+func (c *WeightedCDF) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(c.xs) - len(c.xs); free < n {
+		xs := make([]float64, len(c.xs), len(c.xs)+n)
+		copy(xs, c.xs)
+		c.xs = xs
+		ws := make([]float64, len(c.ws), len(c.ws)+n)
+		copy(ws, c.ws)
+		c.ws = ws
+	}
+}
+
+// Merge appends every observation of o to c in o's insertion order. The
+// Monte-Carlo engine merges per-shard CDFs in shard order, which keeps the
+// combined observation sequence — and therefore every query — independent
+// of how many workers produced the shards.
+func (c *WeightedCDF) Merge(o *WeightedCDF) {
+	if o == nil || len(o.xs) == 0 {
+		return
+	}
+	c.Reserve(len(o.xs))
+	c.xs = append(c.xs, o.xs...)
+	c.ws = append(c.ws, o.ws...)
+	c.total += o.total
+	c.sorted = false
+}
+
 // Len returns the number of retained observations.
 func (c *WeightedCDF) Len() int { return len(c.xs) }
 

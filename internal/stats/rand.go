@@ -19,12 +19,19 @@ func NewRand(seed int64) *rand.Rand {
 // a stream index, so that independent experiment arms draw from
 // non-overlapping, reproducible streams.
 func Derive(seed int64, stream int64) *rand.Rand {
-	// SplitMix64-style mixing of (seed, stream) into a child seed.
+	return NewRand(DeriveSeed(seed, stream))
+}
+
+// DeriveSeed mixes (seed, stream) into a child seed with SplitMix64-style
+// finalization. Nested sweeps use it to give every (outer point, shard)
+// pair its own reproducible stream: DeriveSeed the outer index, then hand
+// the child seed to the mc engine, which Derives per-shard streams.
+func DeriveSeed(seed int64, stream int64) int64 {
 	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(stream+1)
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
-	return NewRand(int64(z))
+	return int64(z)
 }
 
 // SampleDistinct draws k distinct integers from [0, n) uniformly at random.

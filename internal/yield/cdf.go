@@ -2,8 +2,10 @@ package yield
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 
-	"faultmem/internal/fault"
+	"faultmem/internal/mc"
 	"faultmem/internal/stats"
 )
 
@@ -28,6 +30,14 @@ type CDFParams struct {
 	MaxFailures int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers is the goroutine count of the Monte-Carlo engine
+	// (0 = GOMAXPROCS). Results are bit-identical for every value.
+	Workers int
+	// Shards is the number of deterministic RNG streams the sample budget
+	// is split into (0 = mc.DefaultShards). Changing it changes which
+	// stream draws which sample — results are identical across worker
+	// counts only at a fixed shard count.
+	Shards int
 }
 
 // DefaultCDFParams returns the Fig. 5 configuration with a laptop-scale
@@ -61,25 +71,26 @@ type CDFResult struct {
 	MaxFailuresSwept int
 }
 
-// MSECDF runs the Fig. 5 Monte Carlo for one scheme: for every failure
-// count n = 1..Nmax, it draws samples(n) ~ Pr(N=n)*Trun random fault maps
-// (Eq. 4 prior, uniform fault placement), computes the post-mitigation
-// MSE of Eq. (6), and accumulates the weighted CDF of Eq. (5).
-func MSECDF(p CDFParams, s Scheme) CDFResult {
-	if p.Rows <= 0 || p.Width <= 0 || p.Trun <= 0 {
-		panic(fmt.Sprintf("yield: bad CDF params %+v", p))
-	}
+// countPlan is one failure count's slice of the sample budget.
+type countPlan struct {
+	n   int     // failure count
+	k   int     // Monte-Carlo samples assigned to it
+	per float64 // weight per sample: Pr(N=n)/k
+}
+
+// plan lays out the Eq. (4)/(5) sample budget: for every failure count
+// n = 1..Nmax with positive prior mass, k(n) ~ Pr(N=n)*Trun samples of
+// weight Pr(N=n)/k(n). The flat global sample order (count-major) is what
+// the engine shards, so the layout is independent of workers and shards.
+func (p CDFParams) plan() (plans []countPlan, total, nmax int) {
 	m := p.Cells()
-	nmax := p.MaxFailures
+	nmax = p.MaxFailures
 	if nmax == 0 {
 		nmax = stats.BinomialQuantile(m, p.Pcell, 0.9999)
 		if nmax < 1 {
 			nmax = 1
 		}
 	}
-	rng := stats.Derive(p.Seed, hashName(s.Name()))
-	cdf := &stats.WeightedCDF{}
-	samples := 0
 	for n := 1; n <= nmax; n++ {
 		w := stats.BinomialPMF(m, p.Pcell, n)
 		if w <= 0 {
@@ -92,21 +103,88 @@ func MSECDF(p CDFParams, s Scheme) CDFResult {
 		if p.MaxPerCount > 0 && k > p.MaxPerCount {
 			k = p.MaxPerCount
 		}
-		per := w / float64(k)
-		for i := 0; i < k; i++ {
-			fm := fault.GenerateCount(rng, p.Rows, p.Width, n, fault.Flip)
-			mse := MSEFromRowFaults(fm.ByRow(), p.Rows, s)
-			cdf.Add(mse, per)
-			samples++
+		plans = append(plans, countPlan{n: n, k: k, per: w / float64(k)})
+		total += k
+	}
+	return plans, total, nmax
+}
+
+// MSECDFAll runs the Fig. 5 Monte Carlo for every scheme at once on the
+// parallel engine, with common random numbers across the arms: each fault
+// map is drawn once (per-row bitmasks, no allocations) and scored by all
+// schemes, so fault-map generation is paid once instead of once per arm
+// and between-arm comparisons such as ReductionAtYield see the same
+// samples on both sides (variance reduction by positive correlation).
+//
+// The sample budget is split into p.Shards deterministic RNG streams
+// executed by p.Workers goroutines; shard outputs merge in shard order,
+// so every result is bit-identical for any worker count.
+func MSECDFAll(p CDFParams, schemes []Scheme) []CDFResult {
+	if p.Rows <= 0 || p.Width <= 0 || p.Width > 64 || p.Trun <= 0 {
+		panic(fmt.Sprintf("yield: bad CDF params %+v", p))
+	}
+	if len(schemes) == 0 {
+		panic("yield: no schemes")
+	}
+	plans, total, nmax := p.plan()
+	spans := mc.Split(total, p.Shards)
+
+	type shardCDFs []stats.WeightedCDF
+	outs := mc.Run(p.Workers, len(spans), p.Seed, func(shard int, rng *rand.Rand) shardCDFs {
+		span := spans[shard]
+		cdfs := make(shardCDFs, len(schemes))
+		for j := range cdfs {
+			cdfs[j].Reserve(span.End - span.Start)
+		}
+		sampler := NewRowSampler(p.Rows, p.Width)
+		// Locate the span's first (count, sample) pair, then stream
+		// through the count-major global order. Everything below Add is
+		// allocation-free: the sampler reuses its masks and each CDF was
+		// reserved to the span size.
+		idx, off := 0, span.Start
+		for idx < len(plans) && off >= plans[idx].k {
+			off -= plans[idx].k
+			idx++
+		}
+		for g := span.Start; g < span.End; g++ {
+			for off >= plans[idx].k {
+				off = 0
+				idx++
+			}
+			sampler.Draw(rng, plans[idx].n)
+			for j, s := range schemes {
+				cdfs[j].Add(sampler.MSE(s), plans[idx].per)
+			}
+			off++
+		}
+		return cdfs
+	})
+
+	p0 := stats.BinomialPMF(p.Cells(), p.Pcell, 0)
+	results := make([]CDFResult, len(schemes))
+	for j, s := range schemes {
+		cdf := &stats.WeightedCDF{}
+		cdf.Reserve(total)
+		for _, shard := range outs {
+			cdf.Merge(&shard[j])
+		}
+		results[j] = CDFResult{
+			Scheme:           s.Name(),
+			CDF:              cdf,
+			PZeroFailures:    p0,
+			Samples:          total,
+			MaxFailuresSwept: nmax,
 		}
 	}
-	return CDFResult{
-		Scheme:           s.Name(),
-		CDF:              cdf,
-		PZeroFailures:    stats.BinomialPMF(m, p.Pcell, 0),
-		Samples:          samples,
-		MaxFailuresSwept: nmax,
-	}
+	return results
+}
+
+// MSECDF runs the Fig. 5 Monte Carlo for one scheme: for every failure
+// count n = 1..Nmax, it draws samples(n) ~ Pr(N=n)*Trun random fault maps
+// (Eq. 4 prior, uniform fault placement), computes the post-mitigation
+// MSE of Eq. (6), and accumulates the weighted CDF of Eq. (5).
+func MSECDF(p CDFParams, s Scheme) CDFResult {
+	return MSECDFAll(p, []Scheme{s})[0]
 }
 
 // YieldAtMSE returns the quality-aware yield at a target MSE: the
@@ -150,21 +228,7 @@ func ReductionAtYield(a, b CDFResult, q float64) float64 {
 		if mb == 0 {
 			return 1
 		}
-		return inf
+		return math.Inf(1)
 	}
 	return mb / ma
-}
-
-const inf = 1e308
-
-// hashName maps a scheme name to a deterministic RNG stream index.
-func hashName(name string) int64 {
-	var h int64 = 1469598103
-	for _, c := range name {
-		h = (h ^ int64(c)) * 16777619
-	}
-	if h < 0 {
-		h = -h
-	}
-	return h
 }

@@ -1,0 +1,162 @@
+package yield
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"faultmem/internal/stats"
+)
+
+// fig5Schemes mirrors the seven arms of Fig. 5.
+func fig5Schemes() []Scheme {
+	return []Scheme{
+		Unprotected{}, NewShuffled(1), NewShuffled(2), NewShuffled(3),
+		NewShuffled(4), NewShuffled(5), PriorityECC{},
+	}
+}
+
+func TestMSECDFAllWorkerCountInvariance(t *testing.T) {
+	// The determinism contract: same seed => byte-identical CDFs for any
+	// worker count. Compared via Float64bits so even a ULP of drift
+	// (e.g. from a reordered merge) fails.
+	p := DefaultCDFParams()
+	p.Trun = 2e4
+	run := func(workers int) []CDFResult {
+		q := p
+		q.Workers = workers
+		return MSECDFAll(q, fig5Schemes())
+	}
+	ref := run(1)
+	for _, w := range []int{2, runtime.GOMAXPROCS(0), 13} {
+		got := run(w)
+		for j := range ref {
+			a, b := ref[j], got[j]
+			if a.Samples != b.Samples || a.MaxFailuresSwept != b.MaxFailuresSwept {
+				t.Fatalf("workers=%d %s: sample counts differ", w, a.Scheme)
+			}
+			if a.CDF.TotalWeight() != b.CDF.TotalWeight() {
+				t.Fatalf("workers=%d %s: total weight %v != %v",
+					w, a.Scheme, a.CDF.TotalWeight(), b.CDF.TotalWeight())
+			}
+			ax, ap := a.CDF.Points()
+			bx, bp := b.CDF.Points()
+			if len(ax) != len(bx) {
+				t.Fatalf("workers=%d %s: CDF sizes differ", w, a.Scheme)
+			}
+			for i := range ax {
+				if math.Float64bits(ax[i]) != math.Float64bits(bx[i]) ||
+					math.Float64bits(ap[i]) != math.Float64bits(bp[i]) {
+					t.Fatalf("workers=%d %s: CDF point %d differs", w, a.Scheme, i)
+				}
+			}
+			for _, q := range []float64{0.6, 0.9, 0.99, 0.999} {
+				qa, qb := a.MSEAtYield(q), b.MSEAtYield(q)
+				if math.Float64bits(qa) != math.Float64bits(qb) {
+					t.Fatalf("workers=%d %s: quantile at %g differs: %v != %v",
+						w, a.Scheme, q, qa, qb)
+				}
+			}
+		}
+	}
+}
+
+func TestMSECDFAllShardCountChangesStreamsOnly(t *testing.T) {
+	// Shard count selects the stream layout: results legitimately differ
+	// across shard counts but each must be internally deterministic and
+	// carry the same sample plan.
+	p := DefaultCDFParams()
+	p.Trun = 1e4
+	a := MSECDFAll(p, fig5Schemes()[:1])[0]
+	p.Shards = 7
+	b1 := MSECDFAll(p, fig5Schemes()[:1])[0]
+	b2 := MSECDFAll(p, fig5Schemes()[:1])[0]
+	if a.Samples != b1.Samples {
+		t.Fatal("shard count changed the sample plan")
+	}
+	if b1.MSEAtYield(0.9) != b2.MSEAtYield(0.9) {
+		t.Fatal("fixed shard count not deterministic")
+	}
+}
+
+func TestHotPathZeroAllocs(t *testing.T) {
+	// The per-sample hot path — fault-map draw, residual evaluation for
+	// every Fig. 5 arm, CDF accumulation — must not allocate. This is the
+	// regression gate for the allocation-free engine rewrite.
+	schemes := fig5Schemes()
+	sampler := NewRowSampler(4096, 32)
+	cdfs := make([]stats.WeightedCDF, len(schemes))
+	const rounds = 200
+	for j := range cdfs {
+		cdfs[j].Reserve(rounds + 1)
+	}
+	rng := stats.NewRand(1)
+	n := 1
+	avg := testing.AllocsPerRun(rounds, func() {
+		sampler.Draw(rng, n)
+		for j, s := range schemes {
+			cdfs[j].Add(sampler.MSE(s), 1e-6)
+		}
+		n = n%6 + 1 // cycle realistic failure counts
+	})
+	if avg != 0 {
+		t.Fatalf("per-sample hot path allocates %.1f times", avg)
+	}
+}
+
+// --- microbenchmarks of the engine datapaths (run with -benchmem) ---
+
+func BenchmarkRowSamplerDraw(b *testing.B) {
+	sampler := NewRowSampler(4096, 32)
+	rng := stats.NewRand(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sampler.Draw(rng, 4)
+	}
+}
+
+func benchmarkRowMSE(b *testing.B, s Scheme) {
+	sampler := NewRowSampler(4096, 32)
+	rng := stats.NewRand(1)
+	sampler.Draw(rng, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += sampler.MSE(s)
+	}
+	_ = acc
+}
+
+func BenchmarkRowMSEUnprotected(b *testing.B) { benchmarkRowMSE(b, Unprotected{}) }
+func BenchmarkRowMSEShuffled1(b *testing.B)   { benchmarkRowMSE(b, NewShuffled(1)) }
+func BenchmarkRowMSEShuffled5(b *testing.B)   { benchmarkRowMSE(b, NewShuffled(5)) }
+func BenchmarkRowMSEPriorityECC(b *testing.B) {
+	benchmarkRowMSE(b, PriorityECC{})
+}
+
+// BenchmarkMSECDFAllFig5 is the engine-level benchmark at the Fig. 5
+// bench budget: all seven arms, one common-random-numbers pass.
+func BenchmarkMSECDFAllFig5(b *testing.B) {
+	p := DefaultCDFParams()
+	p.Trun = 2e4
+	schemes := fig5Schemes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MSECDFAll(p, schemes)
+	}
+}
+
+// BenchmarkMSECDFAllFig5Serial pins the engine to one worker, isolating
+// the algorithmic (allocation-free + common-random-numbers) speedup from
+// the parallel speedup.
+func BenchmarkMSECDFAllFig5Serial(b *testing.B) {
+	p := DefaultCDFParams()
+	p.Trun = 2e4
+	p.Workers = 1
+	schemes := fig5Schemes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MSECDFAll(p, schemes)
+	}
+}

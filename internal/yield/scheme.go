@@ -10,6 +10,7 @@ package yield
 import (
 	"fmt"
 	"math"
+	mbits "math/bits"
 
 	"faultmem/internal/core"
 )
@@ -24,6 +25,22 @@ type Scheme interface {
 	// Residual maps the faulty physical columns of one row (data
 	// geometry, sorted or not) to the residual logical fault positions.
 	Residual(cols []int) []int
+	// RowMSE returns the summed squared residual error magnitude of one
+	// row whose faulty physical columns are the set bits of mask (bit c
+	// set = column c faulty; Width <= 64 so a row fits one word). It is
+	// the allocation-free equivalent of summing (2^b)^2 over
+	// Residual(cols) and is the Monte-Carlo engine's per-row hot path.
+	RowMSE(mask uint64) float64
+}
+
+// maskMSE sums (2^b)^2 = 4^b over the set bits of mask — Eq. (6)'s inner
+// sum when every masked column leaks through unmitigated.
+func maskMSE(mask uint64) float64 {
+	sum := 0.0
+	for m := mask; m != 0; m &= m - 1 {
+		sum += math.Ldexp(1, 2*mbits.TrailingZeros64(m))
+	}
+	return sum
 }
 
 // Unprotected is the "No Correction" arm: every fault hits its own bit.
@@ -37,14 +54,72 @@ func (Unprotected) Residual(cols []int) []int {
 	return append([]int(nil), cols...)
 }
 
+// RowMSE implements Scheme: every masked column leaks through.
+func (Unprotected) RowMSE(mask uint64) float64 { return maskMSE(mask) }
+
 // Shuffled is the paper's bit-shuffling scheme at a given configuration.
+// Construct it with NewShuffled (or NewShuffledConfig), which precomputes
+// the per-configuration memo table the RowMSE hot path reads; a zero or
+// hand-built value still works, falling back to the core search.
 type Shuffled struct {
-	Cfg core.Config
+	Cfg  core.Config
+	memo *shuffleMemo
+}
+
+// shuffleMemo caches, per shuffling configuration, everything RowMSE
+// needs: the candidate write rotations and the best achievable row MSE
+// for every single-fault column — the overwhelmingly common case under
+// memory-scale Pcell, where multi-fault rows are rare enough to search
+// directly.
+type shuffleMemo struct {
+	width     int
+	widthMask uint64
+	shifts    []int       // ShiftForX(x) per FM-LUT entry x
+	single    [64]float64 // best row MSE for a lone fault at column c
+}
+
+func newShuffleMemo(cfg core.Config) *shuffleMemo {
+	m := &shuffleMemo{width: cfg.Width}
+	if cfg.Width == 64 {
+		m.widthMask = ^uint64(0)
+	} else {
+		m.widthMask = (uint64(1) << uint(cfg.Width)) - 1
+	}
+	m.shifts = make([]int, cfg.NumSegments())
+	for x := range m.shifts {
+		m.shifts[x] = cfg.ShiftForX(x)
+	}
+	for c := 0; c < cfg.Width; c++ {
+		m.single[c] = m.best(uint64(1) << uint(c))
+	}
+	return m
+}
+
+// best searches every FM-LUT entry for the rotation minimizing the row's
+// summed squared error — the mask-space equivalent of core.Config.BestX
+// (same ascending-x tie-breaking, so the two paths agree exactly).
+func (m *shuffleMemo) best(mask uint64) float64 {
+	best := math.Inf(1)
+	for _, t := range m.shifts {
+		// A write rotation of T places physical column f at logical
+		// position (f + T) mod W: rotate the mask left by T within W.
+		rot := ((mask << uint(t)) | (mask >> uint(m.width-t))) & m.widthMask
+		if cost := maskMSE(rot); cost < best {
+			best = cost
+		}
+	}
+	return best
 }
 
 // NewShuffled returns the scheme for a 32-bit word at the given nFM.
 func NewShuffled(nfm int) Shuffled {
-	return Shuffled{Cfg: core.Config{Width: 32, NFM: nfm}}
+	return NewShuffledConfig(core.Config{Width: 32, NFM: nfm})
+}
+
+// NewShuffledConfig returns the scheme for an arbitrary configuration
+// (Width a power of two in [2, 64]), with the RowMSE memo table built.
+func NewShuffledConfig(cfg core.Config) Shuffled {
+	return Shuffled{Cfg: cfg, memo: newShuffleMemo(cfg)}
 }
 
 // Name implements Scheme.
@@ -53,6 +128,22 @@ func (s Shuffled) Name() string { return fmt.Sprintf("nFM=%d-Bit", s.Cfg.NFM) }
 // Residual implements Scheme via the FM-LUT best-entry rule.
 func (s Shuffled) Residual(cols []int) []int {
 	return s.Cfg.ResidualPositions(cols)
+}
+
+// RowMSE implements Scheme: single-fault rows hit the memo table, rarer
+// multi-fault rows run the full 2^nFM-entry search on the mask.
+func (s Shuffled) RowMSE(mask uint64) float64 {
+	if mask == 0 {
+		return 0
+	}
+	memo := s.memo
+	if memo == nil {
+		memo = newShuffleMemo(s.Cfg) // hand-built value; correctness over speed
+	}
+	if mask&(mask-1) == 0 {
+		return memo.single[mbits.TrailingZeros64(mask)]
+	}
+	return memo.best(mask)
 }
 
 // FullECC is H(39,32) SECDED: a single fault per word is corrected; two
@@ -69,6 +160,14 @@ func (FullECC) Residual(cols []int) []int {
 		return nil
 	}
 	return append([]int(nil), cols...)
+}
+
+// RowMSE implements Scheme.
+func (FullECC) RowMSE(mask uint64) float64 {
+	if mask&(mask-1) == 0 { // zero or one fault: corrected
+		return 0
+	}
+	return maskMSE(mask)
 }
 
 // PriorityECC is priority-based ECC: the top Protected bits (16 in the
@@ -113,6 +212,16 @@ func (p PriorityECC) Residual(cols []int) []int {
 		return lower
 	}
 	return append(lower, upper...)
+}
+
+// RowMSE implements Scheme.
+func (p PriorityECC) RowMSE(mask uint64) float64 {
+	low := uint(32 - p.split())
+	upper := mask >> low << low
+	if upper&(upper-1) == 0 { // zero or one upper fault: corrected
+		return maskMSE(mask &^ upper)
+	}
+	return maskMSE(mask)
 }
 
 // MSEFromRowFaults evaluates Eq. (6) for one memory sample: given the

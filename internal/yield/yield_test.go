@@ -7,7 +7,6 @@ import (
 	"testing/quick"
 
 	"faultmem/internal/core"
-	"faultmem/internal/stats"
 )
 
 func TestUnprotectedResidual(t *testing.T) {
@@ -166,9 +165,14 @@ func TestMSECDF30xReductionClaim(t *testing.T) {
 func TestYieldAtMSETargetNFM1(t *testing.T) {
 	// §4: with target MSE < 1e6, nFM=1 achieves near-perfect yield. A
 	// single fault under nFM=1 costs at most (2^15)^2/4096 = 2.6e5, so
-	// only improbable many-fault samples can violate the target.
+	// only improbable many-fault samples (chiefly rare same-row pairs)
+	// can violate the target. The converged tail mass is ~2.7e-5, i.e.
+	// ~5 tail hits per 1e5 samples — discrete enough that the estimate
+	// needs a 10x budget (with the per-count cap lifted accordingly) to
+	// sit stably below the 1e-4 bound. The engine makes this cheap.
 	p := DefaultCDFParams()
-	p.Trun = 3e4
+	p.Trun = 2e6
+	p.MaxPerCount = 200000
 	s1 := MSECDF(p, NewShuffled(1))
 	if y := s1.YieldAtMSE(1e6); y < 0.9999 {
 		t.Errorf("nFM=1 yield at MSE<1e6 = %.6f, want ~1", y)
@@ -242,19 +246,25 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
-func TestStatsDeriveStreamsDiffer(t *testing.T) {
-	// Different schemes use different RNG streams so their fault maps are
-	// independent (hashName-based derivation must not collide for the
-	// standard scheme names).
-	names := []string{"No Correction", "nFM=1-Bit", "nFM=2-Bit", "nFM=3-Bit",
-		"nFM=4-Bit", "nFM=5-Bit", "H(22,16) P-ECC", "H(39,32) ECC"}
-	seen := map[int64]string{}
-	for _, n := range names {
-		h := hashName(n)
-		if prev, dup := seen[h]; dup {
-			t.Errorf("hash collision: %q and %q", prev, n)
-		}
-		seen[h] = n
+func TestCommonRandomNumbersAcrossArms(t *testing.T) {
+	// MSECDFAll evaluates every scheme on the same fault maps (common
+	// random numbers), so running a scheme alongside others must give
+	// exactly the result of running it alone at the same params.
+	p := DefaultCDFParams()
+	p.Trun = 5e3
+	alone := MSECDF(p, NewShuffled(2))
+	together := MSECDFAll(p, []Scheme{Unprotected{}, NewShuffled(2), FullECC{}})[1]
+	if alone.Samples != together.Samples {
+		t.Fatal("sample counts differ")
 	}
-	_ = stats.NewRand(0)
+	ax, ap := alone.CDF.Points()
+	bx, bp := together.CDF.Points()
+	if len(ax) != len(bx) {
+		t.Fatalf("CDF sizes differ: %d vs %d", len(ax), len(bx))
+	}
+	for i := range ax {
+		if ax[i] != bx[i] || ap[i] != bp[i] {
+			t.Fatalf("CDF point %d differs: (%g,%g) vs (%g,%g)", i, ax[i], ap[i], bx[i], bp[i])
+		}
+	}
 }
