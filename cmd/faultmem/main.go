@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"faultmem/internal/exp"
+	"faultmem/internal/yield"
 )
 
 func main() {
@@ -128,11 +129,18 @@ func runFig5(args []string) error {
 	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
 	csvOut := fs.Bool("csv", false, "CSV output")
 	seed := fs.Int64("seed", 1, "random seed")
-	trun := fs.Float64("trun", 1e6, "Monte-Carlo budget scale (paper: 1e7)")
+	trun := fs.Float64("trun", 1e6, "Monte-Carlo budget scale (paper: 1e7; hist mode keeps it O(1) in memory)")
 	pcell := fs.Float64("pcell", 5e-6, "bit-cell failure probability")
 	targets := fs.Bool("targets", true, "also print the MSE-at-yield-target table")
 	workers := fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = all cores; results identical for any value)")
+	hist := fs.String("hist", "auto", "CDF accumulator: auto|exact|hist (hist = O(1)-memory log histogram)")
+	bins := fs.Int("bins", 0, "log-histogram bin count (0 = default)")
+	maxPer := fs.Int("maxper", 20000, "sample cap per failure count (0 = uncapped, the paper's convention)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := yield.ParseAccumMode(*hist)
+	if err != nil {
 		return err
 	}
 	p := exp.DefaultFig5Params()
@@ -140,6 +148,9 @@ func runFig5(args []string) error {
 	p.CDF.Trun = *trun
 	p.CDF.Pcell = *pcell
 	p.CDF.Workers = *workers
+	p.CDF.Accum = mode
+	p.CDF.Bins = *bins
+	p.CDF.MaxPerCount = *maxPer
 	res := exp.Fig5(p)
 	if err := render(res.CDFTable(), *csvOut); err != nil {
 		return err

@@ -6,6 +6,11 @@
 //
 //	yieldcalc -pcell 5e-6 -target 1e6
 //	yieldcalc -sweep -target 1e6 -minyield 0.999
+//
+// The sweep evaluates all operating points concurrently on the
+// Monte-Carlo engine (one pass per point, deterministic output order);
+// -hist selects the CDF accumulator (auto switches to the O(1)-memory
+// log histogram at large budgets, so -trun 1e7 runs flat in memory).
 package main
 
 import (
@@ -29,12 +34,19 @@ func run() error {
 	rows := flag.Int("rows", 4096, "memory depth in 32-bit words (4096 = 16KB)")
 	pcell := flag.Float64("pcell", 5e-6, "bit-cell failure probability (ignored with -sweep)")
 	target := flag.Float64("target", 1e6, "MSE quality target (die qualifies if MSE < target)")
-	trun := flag.Float64("trun", 2e5, "Monte-Carlo budget scale")
+	trun := flag.Float64("trun", 0, "Monte-Carlo budget scale (0 = auto: 2e5 single point, 1e6 sweep)")
 	seed := flag.Int64("seed", 1, "random seed")
 	sweep := flag.Bool("sweep", false, "sweep VDD instead of a single Pcell point")
 	minYield := flag.Float64("minyield", 0.999, "yield requirement for the -sweep minimum-VDD report")
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = all cores; results identical for any value)")
+	hist := flag.String("hist", "auto", "CDF accumulator: auto|exact|hist (hist = O(1)-memory log histogram)")
+	bins := flag.Int("bins", 0, "log-histogram bin count (0 = default)")
 	flag.Parse()
+
+	mode, err := yield.ParseAccumMode(*hist)
+	if err != nil {
+		return err
+	}
 
 	schemes := []exp.Protection{exp.ProtNone, exp.ProtShuffle1, exp.ProtShuffle2,
 		exp.ProtShuffle3, exp.ProtShuffle4, exp.ProtShuffle5, exp.ProtPECC, exp.ProtECC}
@@ -46,17 +58,22 @@ func run() error {
 	for i, s := range schemes {
 		ys[i] = s.YieldScheme()
 	}
-	evalAt := func(p float64) []yield.CDFResult {
-		return yield.MSECDFAll(yield.CDFParams{
-			Rows: *rows, Width: 32, Pcell: p,
-			Trun: *trun, MaxPerCount: 10000, Seed: *seed, Workers: *workers,
-		}, ys)
+	params := func(trun float64) yield.CDFParams {
+		return yield.CDFParams{
+			Rows: *rows, Width: 32, Pcell: *pcell,
+			Trun: trun, MaxPerCount: 10000, Seed: *seed, Workers: *workers,
+			Accum: mode, Bins: *bins,
+		}
 	}
 
 	if !*sweep {
+		budget := *trun
+		if budget == 0 {
+			budget = 2e5
+		}
 		fmt.Printf("memory: %d x 32 (%d cells), Pcell=%.3e, target MSE < %.3e\n\n",
 			*rows, *rows*32, *pcell, *target)
-		results := evalAt(*pcell)
+		results := yield.MSECDFAll(params(budget), ys)
 		fmt.Printf("%-16s  %-14s  %-12s\n", "scheme", "quality yield", "trad. yield")
 		trad := results[0].PZeroFailures // zero-failure criterion
 		for i, r := range results {
@@ -66,7 +83,30 @@ func run() error {
 		return nil
 	}
 
+	budget := *trun
+	if budget == 0 {
+		budget = 1e6
+	}
 	model := sram.Default28nm()
+	var vdds, pcells []float64
+	for v := 0.90; v >= 0.60-1e-9; v -= 0.02 {
+		vdds = append(vdds, v)
+		pcells = append(pcells, model.Pcell(v))
+	}
+	// All operating points run concurrently on the engine: one
+	// MSECDFAll pass per point, reduced to its per-scheme yield column
+	// as it completes (the full accumulators are not retained), merged
+	// in point order — the table is identical to a serial sweep at the
+	// same seed.
+	points := yield.MSECDFSweepMap(params(budget), pcells, ys,
+		func(_ int, rs []yield.CDFResult) []float64 {
+			col := make([]float64, len(rs))
+			for i, r := range rs {
+				col[i] = r.YieldAtMSE(*target)
+			}
+			return col
+		})
+
 	fmt.Printf("VDD sweep: quality yield at MSE < %.1e for a %d-word memory\n\n", *target, *rows)
 	fmt.Printf("%-6s %-10s", "VDD", "Pcell")
 	for _, s := range schemes {
@@ -74,12 +114,9 @@ func run() error {
 	}
 	fmt.Println()
 	minVDD := make(map[exp.Protection]float64)
-	for v := 0.90; v >= 0.60-1e-9; v -= 0.02 {
-		p := model.Pcell(v)
-		results := evalAt(p)
-		fmt.Printf("%-6.2f %-10.2e", v, p)
-		for i, r := range results {
-			y := r.YieldAtMSE(*target)
+	for vi, v := range vdds {
+		fmt.Printf("%-6.2f %-10.2e", v, pcells[vi])
+		for i, y := range points[vi] {
 			fmt.Printf(" %-14.6f", y)
 			if y >= *minYield {
 				minVDD[schemes[i]] = v // keep lowest passing VDD (loop descends)

@@ -71,12 +71,17 @@ func (r Fig5Result) CDFTable() *Table {
 	for _, a := range r.Arms {
 		header = append(header, a.String())
 	}
+	acc := "exact observation store"
+	if r.CDFs[0].Histogram {
+		acc = "O(1)-memory log10-MSE histogram"
+	}
 	t := &Table{
 		Title:  "Fig. 5 - CDF of memory MSE (16KB, Pcell=5e-6), conditioned on N>=1 failures",
 		Header: header,
 		Notes: []string{
 			fmt.Sprintf("Pr(N=0) = %.4f (fault-free dies, MSE = 0, excluded from the curves as in Eq. 5's sum from i=1)", r.CDFs[0].PZeroFailures),
-			fmt.Sprintf("Monte-Carlo samples per arm: %d (Trun=%.0g; the paper uses 1e7)", r.CDFs[0].Samples, r.Params.CDF.Trun),
+			fmt.Sprintf("Monte-Carlo samples per arm: %d (Trun=%.0g; the paper uses 1e7); accumulator: %s",
+				r.CDFs[0].Samples, r.Params.CDF.Trun, acc),
 		},
 	}
 	for _, x := range r.Params.MSEGrid {

@@ -108,12 +108,11 @@ type Fig7Arm struct {
 	Qualities []float64 // normalized to the fault-free metric, sorted ascending
 }
 
-// CDFAt returns the empirical Pr(quality <= q).
+// CDFAt returns the empirical Pr(quality <= q): an upper-bound binary
+// search for the first quality above q, so duplicate-heavy samples (many
+// trials at quality 1.0) cost O(log n) instead of a linear walk.
 func (a Fig7Arm) CDFAt(q float64) float64 {
-	i := sort.SearchFloat64s(a.Qualities, q)
-	for i < len(a.Qualities) && a.Qualities[i] <= q {
-		i++
-	}
+	i := sort.Search(len(a.Qualities), func(i int) bool { return a.Qualities[i] > q })
 	return float64(i) / float64(len(a.Qualities))
 }
 
@@ -213,12 +212,18 @@ func Fig7Arms() []Protection {
 	return []Protection{ProtNone, ProtPECC, ProtShuffle1, ProtShuffle2}
 }
 
-// Fig7 runs the Monte-Carlo quality experiment on the parallel engine:
-// every trial is one shard (own deterministic RNG stream), drawing its
-// die's fault map once and pushing the training set through every
-// protection arm's memory (common random numbers), so the arms' quality
-// CDFs are compared on identical dies and each trial pays fault
-// generation once instead of once per arm.
+// Fig7 runs the Monte-Carlo quality experiment on the parallel engine.
+// Trials are split into contiguous spans, one span per worker-sized
+// shard; within a span every trial draws from its own RNG stream derived
+// from (seed, trial index), so the quality samples are bit-identical for
+// any worker or shard count. Each trial draws its die's fault map once
+// and pushes the training set through every protection arm's memory
+// (common random numbers), so the arms' quality CDFs are compared on
+// identical dies and each trial pays fault generation once instead of
+// once per arm. Trials sharing a shard reuse one memstore.Workspace, so
+// the dataset round-trip (a dataset-sized matrix plus two flat copies
+// per arm) stops dominating the per-trial allocation churn — what's left
+// is model training itself.
 func Fig7(p Fig7Params) (Fig7Result, error) {
 	if p.Trials < 1 || p.Rows < 1 || p.Pcell <= 0 || p.Pcell >= 1 {
 		return Fig7Result{}, fmt.Errorf("exp: bad Fig7 params %+v", p)
@@ -231,31 +236,42 @@ func Fig7(p Fig7Params) (Fig7Result, error) {
 	codec := memstore.DefaultCodec()
 	cells := p.Rows * 32
 	arms := Fig7Arms()
+	seedBase := stats.DeriveSeed(p.Seed, 1000)
+	spans := mc.Split(p.Trials, mc.Workers(p.Workers))
 
-	type trialOut struct {
-		qs  []float64 // per-arm normalized quality
+	type shardOut struct {
+		qs  [][]float64 // [trial in span][arm] normalized quality
 		err error
 	}
-	outs := mc.Run(p.Workers, p.Trials, stats.DeriveSeed(p.Seed, 1000),
-		func(trial int, rng *rand.Rand) trialOut {
-			// Draw the die's failure count from the Eq. (4) prior,
-			// conditioned on at least one failure (fault-free dies have
-			// quality 1 by construction and are excluded from the CDF,
-			// matching Fig. 7's curves).
-			n := 0
-			for n == 0 {
-				n = stats.SampleBinomial(rng, cells, p.Pcell)
-			}
-			fm := fault.GenerateCount(rng, p.Rows, 32, n, fault.Flip)
-			out := trialOut{qs: make([]float64, len(arms))}
-			for ai, arm := range arms {
-				m, err := arm.Build(p.Rows, fm)
-				if err != nil {
-					out.err = err
-					return out
+	outs := mc.Run(p.Workers, len(spans), seedBase,
+		func(shard int, _ *rand.Rand) shardOut {
+			span := spans[shard]
+			out := shardOut{qs: make([][]float64, 0, span.End-span.Start)}
+			var ws memstore.Workspace
+			for trial := span.Start; trial < span.End; trial++ {
+				rng := stats.Derive(seedBase, int64(trial))
+				// Draw the die's failure count from the Eq. (4) prior,
+				// conditioned on at least one failure (fault-free dies
+				// have quality 1 by construction and are excluded from
+				// the CDF, matching Fig. 7's curves).
+				n := 0
+				for n == 0 {
+					n = stats.SampleBinomial(rng, cells, p.Pcell)
 				}
-				xc, yc := codec.RoundTripDataset(m, w.train.X, w.train.Y)
-				out.qs[ai] = ml.NormalizeQuality(w.evaluate(xc, yc), w.clean)
+				fm := fault.GenerateCount(rng, p.Rows, 32, n, fault.Flip)
+				qs := make([]float64, len(arms))
+				for ai, arm := range arms {
+					m, err := arm.Build(p.Rows, fm)
+					if err != nil {
+						out.err = err
+						return out
+					}
+					// xc/yc alias the shard workspace; evaluate consumes
+					// them fully before the next arm refills it.
+					xc, yc := codec.RoundTripDatasetInto(&ws, m, w.train.X, w.train.Y)
+					qs[ai] = ml.NormalizeQuality(w.evaluate(xc, yc), w.clean)
+				}
+				out.qs = append(out.qs, qs)
 			}
 			return out
 		})
@@ -266,7 +282,9 @@ func Fig7(p Fig7Params) (Fig7Result, error) {
 			if o.err != nil {
 				return Fig7Result{}, o.err
 			}
-			qualities = append(qualities, o.qs[ai])
+			for _, qs := range o.qs {
+				qualities = append(qualities, qs[ai])
+			}
 		}
 		sort.Float64s(qualities)
 		res.Arms = append(res.Arms, Fig7Arm{Scheme: arm, Qualities: qualities})

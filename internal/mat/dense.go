@@ -82,6 +82,19 @@ func (m *Dense) RawRow(i int) []float64 {
 	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
 }
 
+// SetRow copies vals into row i. It panics when vals is not exactly one
+// row wide. Together with RawRow it lets hot loops refill a scratch
+// matrix in place instead of allocating a new one per trial.
+func (m *Dense) SetRow(i int, vals []float64) {
+	if i < 0 || i >= m.rows {
+		panic("mat: row index out of range")
+	}
+	if len(vals) != m.cols {
+		panic(fmt.Sprintf("mat: SetRow length %d, want %d", len(vals), m.cols))
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], vals)
+}
+
 // Col returns a copy of column j.
 func (m *Dense) Col(j int) []float64 {
 	if j < 0 || j >= m.cols {

@@ -67,11 +67,19 @@ func (c Codec) Decode(w uint32) float64 {
 // returns the decoded read-back. len(vals) may exceed the memory size;
 // every page reuses the same words (and therefore the same fault map).
 func (c Codec) RoundTripValues(m mem.Word32, vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	c.roundTripInPlace(m, out)
+	return out
+}
+
+// roundTripInPlace overwrites vals with its faulty read-back, page by
+// page, without allocating.
+func (c Codec) roundTripInPlace(m mem.Word32, vals []float64) {
 	words := m.Words()
 	if words == 0 {
 		panic("memstore: empty memory")
 	}
-	out := make([]float64, len(vals))
 	for start := 0; start < len(vals); start += words {
 		end := start + words
 		if end > len(vals) {
@@ -81,10 +89,9 @@ func (c Codec) RoundTripValues(m mem.Word32, vals []float64) []float64 {
 			m.Write(i-start, c.Encode(vals[i]))
 		}
 		for i := start; i < end; i++ {
-			out[i] = c.Decode(m.Read(i - start))
+			vals[i] = c.Decode(m.Read(i - start))
 		}
 	}
-	return out
 }
 
 // RoundTripMatrix round-trips a matrix (row-major) through the memory.
@@ -108,24 +115,57 @@ func (c Codec) RoundTripMatrix(m mem.Word32, x *mat.Dense) *mat.Dense {
 // the entire training dataset in the unreliable memory (§5.2), so the
 // label vector is corrupted alongside the feature matrix.
 func (c Codec) RoundTripDataset(m mem.Word32, x *mat.Dense, y []float64) (*mat.Dense, []float64) {
+	var ws Workspace
+	return c.RoundTripDatasetInto(&ws, m, x, y)
+}
+
+// Workspace holds the scratch buffers of RoundTripDatasetInto so a
+// Monte-Carlo worker can reuse them across trials instead of allocating
+// a dataset-sized matrix and two flat copies per (trial, arm). The zero
+// value is ready to use; it grows to the largest dataset it has seen and
+// then performs no further allocations.
+type Workspace struct {
+	flat []float64
+	x    *mat.Dense
+	y    []float64
+}
+
+// RoundTripDatasetInto is RoundTripDataset on reusable buffers: the
+// returned matrix and slice alias ws and stay valid only until the next
+// call with the same workspace. Consumers that retain the data past one
+// model fit/score cycle must copy it (or use RoundTripDataset).
+func (c Codec) RoundTripDatasetInto(ws *Workspace, m mem.Word32, x *mat.Dense, y []float64) (*mat.Dense, []float64) {
 	rows, cols := x.Dims()
 	if rows != len(y) {
 		panic("memstore: X/Y length mismatch")
 	}
-	flat := make([]float64, 0, rows*cols+len(y))
+	n := rows*cols + len(y)
+	if cap(ws.flat) < n {
+		ws.flat = make([]float64, 0, n)
+	}
+	flat := ws.flat[:0]
 	for i := 0; i < rows; i++ {
 		flat = append(flat, x.RawRow(i)...)
 	}
 	flat = append(flat, y...)
-	back := c.RoundTripValues(m, flat)
-	xOut := mat.NewDense(rows, cols)
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			xOut.Set(i, j, back[i*cols+j])
-		}
+	ws.flat = flat
+	c.roundTripInPlace(m, flat)
+
+	if ws.x == nil {
+		ws.x = mat.NewDense(rows, cols)
+	} else if r, cc := ws.x.Dims(); r != rows || cc != cols {
+		ws.x = mat.NewDense(rows, cols)
 	}
-	yOut := append([]float64(nil), back[rows*cols:]...)
-	return xOut, yOut
+	for i := 0; i < rows; i++ {
+		ws.x.SetRow(i, flat[i*cols:(i+1)*cols])
+	}
+	if cap(ws.y) < len(y) {
+		ws.y = make([]float64, len(y))
+	}
+	yOut := ws.y[:len(y)]
+	copy(yOut, flat[rows*cols:])
+	ws.y = yOut
+	return ws.x, yOut
 }
 
 // WordsNeeded returns the number of 32-bit words a dataset of the given

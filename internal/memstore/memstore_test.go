@@ -143,6 +143,47 @@ func TestRoundTripDatasetCorruption(t *testing.T) {
 	}
 }
 
+func TestRoundTripDatasetIntoMatchesAllocating(t *testing.T) {
+	// The workspace path must produce the same corrupted dataset as the
+	// allocating path, and reusing the workspace must not allocate.
+	c := DefaultCodec()
+	fm := fault.Map{{Row: 0, Col: 31, Kind: fault.Flip}, {Row: 5, Col: 12, Kind: fault.Flip}}
+	raw, err := mem.NewRaw(64, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(9)
+	x := mat.NewDense(32, 4)
+	y := make([]float64, 32)
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, rng.NormFloat64()*10)
+		}
+		y[i] = rng.NormFloat64()
+	}
+
+	xa, ya := c.RoundTripDataset(raw, x, y)
+	var ws Workspace
+	xb, yb := c.RoundTripDatasetInto(&ws, raw, x, y)
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 4; j++ {
+			if xa.At(i, j) != xb.At(i, j) {
+				t.Fatalf("(%d,%d): %g != %g", i, j, xb.At(i, j), xa.At(i, j))
+			}
+		}
+		if ya[i] != yb[i] {
+			t.Fatalf("y[%d]: %g != %g", i, yb[i], ya[i])
+		}
+	}
+
+	avg := testing.AllocsPerRun(50, func() {
+		c.RoundTripDatasetInto(&ws, raw, x, y)
+	})
+	if avg != 0 {
+		t.Errorf("warm workspace round trip allocates %.1f times", avg)
+	}
+}
+
 func TestWordsNeeded(t *testing.T) {
 	if WordsNeeded(100, 11) != 1200 {
 		t.Errorf("WordsNeeded = %d", WordsNeeded(100, 11))

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -12,9 +13,13 @@ import (
 // The zero value is empty; Add observations and then query. Queries sort
 // lazily and are safe to interleave with further Adds.
 type WeightedCDF struct {
-	xs     []float64
-	ws     []float64
-	total  float64
+	xs    []float64
+	ws    []float64
+	total float64
+	// cum caches prefix sums of ws in sorted order (cum[i] = ws[0]+...+
+	// ws[i]), rebuilt by sort(), so P and Quantile are a binary search
+	// instead of an O(n) cumulative walk per query.
+	cum    []float64
 	sorted bool
 }
 
@@ -54,18 +59,26 @@ func (c *WeightedCDF) Reserve(n int) {
 	}
 }
 
-// Merge appends every observation of o to c in o's insertion order. The
-// Monte-Carlo engine merges per-shard CDFs in shard order, which keeps the
-// combined observation sequence — and therefore every query — independent
-// of how many workers produced the shards.
-func (c *WeightedCDF) Merge(o *WeightedCDF) {
-	if o == nil || len(o.xs) == 0 {
+// Merge appends every observation of o (which must be a *WeightedCDF) to
+// c in o's insertion order. The Monte-Carlo engine merges per-shard CDFs
+// in shard order, which keeps the combined observation sequence — and
+// therefore every query — independent of how many workers produced the
+// shards.
+func (c *WeightedCDF) Merge(o Accumulator) {
+	if o == nil {
 		return
 	}
-	c.Reserve(len(o.xs))
-	c.xs = append(c.xs, o.xs...)
-	c.ws = append(c.ws, o.ws...)
-	c.total += o.total
+	oc, ok := o.(*WeightedCDF)
+	if !ok {
+		panic(fmt.Sprintf("stats: cannot merge %T into *WeightedCDF", o))
+	}
+	if oc == nil || len(oc.xs) == 0 {
+		return
+	}
+	c.Reserve(len(oc.xs))
+	c.xs = append(c.xs, oc.xs...)
+	c.ws = append(c.ws, oc.ws...)
+	c.total += oc.total
 	c.sorted = false
 }
 
@@ -91,6 +104,15 @@ func (c *WeightedCDF) sort() {
 		ws[k] = c.ws[i]
 	}
 	c.xs, c.ws = xs, ws
+	if cap(c.cum) < len(ws) {
+		c.cum = make([]float64, len(ws))
+	}
+	c.cum = c.cum[:len(ws)]
+	run := 0.0
+	for i, w := range ws {
+		run += w
+		c.cum[i] = run
+	}
 	c.sorted = true
 }
 
@@ -100,13 +122,13 @@ func (c *WeightedCDF) P(x float64) float64 {
 		return 0
 	}
 	c.sort()
-	// Find the first index with xs[i] > x.
+	// Find the first index with xs[i] > x; cum[i-1] is the mass at or
+	// below x.
 	i := sort.Search(len(c.xs), func(i int) bool { return c.xs[i] > x })
-	cum := 0.0
-	for k := 0; k < i; k++ {
-		cum += c.ws[k]
+	if i == 0 {
+		return 0
 	}
-	return cum / c.total
+	return c.cum[i-1] / c.total
 }
 
 // Quantile returns the smallest observed x with Pr(X <= x) >= q.
@@ -119,15 +141,14 @@ func (c *WeightedCDF) Quantile(q float64) float64 {
 		panic("stats: quantile level out of (0,1]")
 	}
 	c.sort()
-	target := q * c.total
-	cum := 0.0
-	for i, w := range c.ws {
-		cum += w
-		if cum >= target-1e-12*c.total {
-			return c.xs[i]
-		}
+	// cum is non-decreasing: binary-search the first prefix sum reaching
+	// the target (same tolerance the former linear walk used).
+	target := q*c.total - 1e-12*c.total
+	i := sort.Search(len(c.cum), func(i int) bool { return c.cum[i] >= target })
+	if i == len(c.cum) {
+		i = len(c.cum) - 1
 	}
-	return c.xs[len(c.xs)-1]
+	return c.xs[i]
 }
 
 // Points returns the CDF evaluated at each distinct observation, as
@@ -138,14 +159,12 @@ func (c *WeightedCDF) Points() (xs, ps []float64) {
 		return nil, nil
 	}
 	c.sort()
-	cum := 0.0
 	for i := 0; i < len(c.xs); i++ {
-		cum += c.ws[i]
 		if i+1 < len(c.xs) && c.xs[i+1] == c.xs[i] {
 			continue
 		}
 		xs = append(xs, c.xs[i])
-		ps = append(ps, cum/c.total)
+		ps = append(ps, c.cum[i]/c.total)
 	}
 	return xs, ps
 }

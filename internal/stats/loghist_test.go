@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestHist() *LogHistogram {
+	return NewLogHistogram(400, -4, 4)
+}
+
+func TestLogHistogramBasic(t *testing.T) {
+	h := newTestHist()
+	h.Add(1, 1)
+	h.Add(10, 1)
+	h.Add(100, 2)
+	if got := h.TotalWeight(); got != 4 {
+		t.Fatalf("total weight %g", got)
+	}
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count %d", got)
+	}
+	if got := h.P(0.5); got != 0 {
+		t.Errorf("P(0.5) = %g, want 0", got)
+	}
+	if got := h.P(1e6); got != 1 {
+		t.Errorf("P(1e6) = %g, want 1", got)
+	}
+	// Between the observations the CDF must sit at the step values (up
+	// to one bin of interpolation).
+	if got := h.P(3); math.Abs(got-0.25) > 0.01 {
+		t.Errorf("P(3) = %g, want ~0.25", got)
+	}
+	if got := h.P(50); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("P(50) = %g, want ~0.5", got)
+	}
+	// Quantiles within one bin width (log10/400 bins over 8 decades =
+	// 0.02 decades => 4.7% relative) of the exact values.
+	for _, c := range []struct{ q, want float64 }{{0.2, 1}, {0.5, 10}, {1.0, 100}} {
+		got := h.Quantile(c.q)
+		if math.Abs(math.Log10(got)-math.Log10(c.want)) > h.BinWidth()+1e-12 {
+			t.Errorf("Quantile(%g) = %g, want within one bin of %g", c.q, got, c.want)
+		}
+	}
+	if got := h.Mean(); math.Abs(got-(1+10+200)/4.0) > 1e-12 {
+		t.Errorf("mean %g", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max %g/%g", h.Min(), h.Max())
+	}
+}
+
+func TestLogHistogramUnderOverflow(t *testing.T) {
+	h := newTestHist()
+	h.Add(0, 1)    // exact zero: underflow
+	h.Add(1e-9, 1) // below 10^-4: underflow
+	h.Add(1, 1)
+	h.Add(1e9, 1) // above 10^4: overflow
+	if got := h.P(1e-5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P in underflow region = %g, want 0.5", got)
+	}
+	if got := h.P(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(0) = %g, want 0.5 (underflow mass)", got)
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Errorf("Quantile in underflow = %g, want observed min 0", got)
+	}
+	if got := h.Quantile(1); got != 1e9 {
+		t.Errorf("Quantile(1) = %g, want observed max 1e9", got)
+	}
+	xs, ps := h.Points()
+	if len(xs) != 3 { // underflow, one interior bin, overflow
+		t.Fatalf("points: %v", xs)
+	}
+	if xs[0] != 0 || xs[len(xs)-1] != 1e9 || ps[len(ps)-1] != 1 {
+		t.Errorf("points endpoints: xs %v ps %v", xs, ps)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] || ps[i] < ps[i-1] {
+			t.Fatalf("points not monotone: %v %v", xs, ps)
+		}
+	}
+}
+
+func TestLogHistogramWeightRules(t *testing.T) {
+	h := newTestHist()
+	h.Add(1, 0)
+	if h.Count() != 0 || h.TotalWeight() != 0 {
+		t.Error("zero-weight observation retained")
+	}
+	if got := h.P(10); got != 0 {
+		t.Errorf("empty P = %g", got)
+	}
+	mustPanic(t, func() { h.Add(1, -1) })
+	mustPanic(t, func() { h.Add(math.NaN(), 1) })
+	mustPanic(t, func() { h.Quantile(0.5) })
+	h.Add(1, 1)
+	mustPanic(t, func() { h.Quantile(0) })
+	mustPanic(t, func() { h.Quantile(1.1) })
+}
+
+func TestLogHistogramMergeMatchesSequential(t *testing.T) {
+	// Merging shard histograms in shard order must equal adding every
+	// observation into one histogram in the same global order, bin by
+	// bin (the worker-count-invariance property the engine relies on).
+	rng := NewRand(3)
+	xs := make([]float64, 3000)
+	ws := make([]float64, len(xs))
+	for i := range xs {
+		xs[i] = math.Pow(10, rng.Float64()*10-5)
+		ws[i] = rng.Float64() + 0.1
+	}
+	all := newTestHist()
+	shards := []*LogHistogram{newTestHist(), newTestHist(), newTestHist()}
+	for i := range xs {
+		all.Add(xs[i], ws[i])
+		shards[i*len(shards)/len(xs)].Add(xs[i], ws[i])
+	}
+	merged := newTestHist()
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != all.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), all.Count())
+	}
+	if math.Abs(merged.TotalWeight()-all.TotalWeight()) > 1e-9 {
+		t.Fatalf("total %g != %g", merged.TotalWeight(), all.TotalWeight())
+	}
+	if merged.Min() != all.Min() || merged.Max() != all.Max() {
+		t.Fatal("min/max differ")
+	}
+	mx, mp := merged.Points()
+	ax, ap := all.Points()
+	if len(mx) != len(ax) {
+		t.Fatalf("point counts differ: %d vs %d", len(mx), len(ax))
+	}
+	for i := range mx {
+		if mx[i] != ax[i] || math.Abs(mp[i]-ap[i]) > 1e-12 {
+			t.Fatalf("point %d differs: (%g,%g) vs (%g,%g)", i, mx[i], mp[i], ax[i], ap[i])
+		}
+	}
+}
+
+func TestLogHistogramMergeAssociative(t *testing.T) {
+	// (a + b) + c == a + (b + c) up to float round-off: bin weights are
+	// plain sums, so any association agrees to ~ULP precision.
+	build := func(seed int64) *LogHistogram {
+		h := newTestHist()
+		rng := NewRand(seed)
+		for i := 0; i < 500; i++ {
+			h.Add(math.Pow(10, rng.Float64()*8-4), rng.Float64())
+		}
+		return h
+	}
+	a, b, c := build(1), build(2), build(3)
+
+	left := newTestHist()
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := newTestHist()
+	bc.Merge(b)
+	bc.Merge(c)
+	right := newTestHist()
+	right.Merge(a)
+	right.Merge(bc)
+
+	if left.Count() != right.Count() {
+		t.Fatal("counts differ")
+	}
+	lx, lp := left.Points()
+	rx, rp := right.Points()
+	if len(lx) != len(rx) {
+		t.Fatalf("point counts differ: %d vs %d", len(lx), len(rx))
+	}
+	for i := range lx {
+		if lx[i] != rx[i] || math.Abs(lp[i]-rp[i]) > 1e-12 {
+			t.Fatalf("association changed point %d: (%g,%g) vs (%g,%g)",
+				i, lx[i], lp[i], rx[i], rp[i])
+		}
+	}
+}
+
+func TestLogHistogramMergeRejectsMismatch(t *testing.T) {
+	h := newTestHist()
+	mustPanic(t, func() { h.Merge(&WeightedCDF{}) })
+	other := NewLogHistogram(100, -4, 4)
+	other.Add(1, 1)
+	mustPanic(t, func() { h.Merge(other) })
+}
+
+func TestLogHistogramTracksExactCDF(t *testing.T) {
+	// Against the exact oracle: P agrees within the mass of the bin
+	// straddling the query and quantiles within one bin width.
+	rng := NewRand(11)
+	h := NewLogHistogram(1024, -4, 8)
+	var exact WeightedCDF
+	for i := 0; i < 20000; i++ {
+		x := math.Exp(rng.NormFloat64()*3 + 2)
+		w := rng.Float64() + 0.5
+		h.Add(x, w)
+		exact.Add(x, w)
+	}
+	width := h.BinWidth()
+	for e := -3.0; e <= 7.0; e += 0.25 {
+		x := math.Pow(10, e)
+		// The straddling bin's mass, read off the histogram itself.
+		binMass := h.P(math.Pow(10, e+width)) - h.P(math.Pow(10, e-width))
+		if diff := math.Abs(h.P(x) - exact.P(x)); diff > binMass+1e-9 {
+			t.Errorf("P(%g): hist %g vs exact %g (allowed %g)",
+				x, h.P(x), exact.P(x), binMass)
+		}
+	}
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
+		hq, eq := h.Quantile(q), exact.Quantile(q)
+		if math.Abs(math.Log10(hq)-math.Log10(eq)) > width+1e-9 {
+			t.Errorf("Quantile(%g): hist %g vs exact %g (> one bin width)", q, hq, eq)
+		}
+	}
+}
+
+func TestLogHistogramAddZeroAllocs(t *testing.T) {
+	h := NewLogHistogram(0, -8, 20)
+	rng := NewRand(1)
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = math.Pow(10, rng.Float64()*20-6)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(500, func() {
+		h.Add(xs[i%len(xs)], 1e-6)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Add allocates %.1f times per call", avg)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -9,6 +9,67 @@ import (
 	"faultmem/internal/stats"
 )
 
+// AccumMode selects the statistics accumulator MSECDFAll builds its CDFs
+// on.
+type AccumMode int
+
+const (
+	// AccumAuto (the default) retains exact observations below
+	// HistAutoSamples planned samples and switches to the O(1)-memory
+	// log-histogram above — small budgets stay exact, paper-scale
+	// budgets (Trun=1e7+) run in a flat memory envelope.
+	AccumAuto AccumMode = iota
+	// AccumExact forces the exact observation store (stats.WeightedCDF).
+	AccumExact
+	// AccumHist forces the log-histogram (stats.LogHistogram).
+	AccumHist
+)
+
+// String returns the CLI spelling of the mode.
+func (m AccumMode) String() string {
+	switch m {
+	case AccumAuto:
+		return "auto"
+	case AccumExact:
+		return "exact"
+	case AccumHist:
+		return "hist"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ParseAccumMode maps a CLI name to the accumulator mode.
+func ParseAccumMode(s string) (AccumMode, error) {
+	switch s {
+	case "auto", "":
+		return AccumAuto, nil
+	case "exact":
+		return AccumExact, nil
+	case "hist":
+		return AccumHist, nil
+	default:
+		return 0, fmt.Errorf("yield: unknown accumulator mode %q (want auto|exact|hist)", s)
+	}
+}
+
+// HistAutoSamples is the planned-sample count at which AccumAuto stops
+// retaining exact observations and switches to the log-histogram. Below
+// it the exact store's footprint is at most ~16 MB per arm; above it the
+// histogram's fixed few-KB-per-arm footprint wins and its one-bin CDF
+// resolution (~3% in MSE) is far below the Monte-Carlo noise.
+const HistAutoSamples = 1 << 20
+
+// The histogram's log10-MSE domain. The smallest positive MSE any 32-bit
+// scheme can produce is 2^0/rows (~2.4e-4 at 4096 rows), so -8 leaves
+// the underflow bin holding exactly the zero-MSE mass; 20 decades up
+// covers the worst case of every high bit faulty across thousands of
+// rows before the overflow bin takes over.
+const (
+	mseLogMin = -8
+	mseLogMax = 20
+)
+
 // CDFParams configures the Fig. 5 Monte-Carlo experiment: the CDF of the
 // memory MSE under the failure-count prior Pr(N = n) of Eq. (4).
 type CDFParams struct {
@@ -38,6 +99,12 @@ type CDFParams struct {
 	// stream draws which sample — results are identical across worker
 	// counts only at a fixed shard count.
 	Shards int
+	// Accum selects the CDF accumulator (exact store vs O(1)-memory
+	// log-histogram); the AccumAuto zero value decides by budget.
+	Accum AccumMode
+	// Bins is the log-histogram interior bin count
+	// (0 = stats.DefaultLogHistBins).
+	Bins int
 }
 
 // DefaultCDFParams returns the Fig. 5 configuration with a laptop-scale
@@ -60,8 +127,13 @@ func (p CDFParams) Cells() int { return p.Rows * p.Width }
 type CDFResult struct {
 	Scheme string
 	// CDF is the distribution of the MSE conditioned on N >= 1 failures
-	// (weights follow Pr(N=n), matching Eq. 5's sum from i=1).
-	CDF *stats.WeightedCDF
+	// (weights follow Pr(N=n), matching Eq. 5's sum from i=1). It is an
+	// exact stats.WeightedCDF or an O(1)-memory stats.LogHistogram,
+	// depending on the params' accumulator mode and budget.
+	CDF stats.Accumulator
+	// Histogram reports whether CDF is the log-histogram accumulator
+	// rather than the exact observation store.
+	Histogram bool
 	// PZeroFailures is Pr(N=0), the prior mass of fault-free dies (whose
 	// MSE is exactly 0).
 	PZeroFailures float64
@@ -129,18 +201,31 @@ func MSECDFAll(p CDFParams, schemes []Scheme) []CDFResult {
 	plans, total, nmax := p.plan()
 	spans := mc.Split(total, p.Shards)
 
-	type shardCDFs []stats.WeightedCDF
-	outs := mc.Run(p.Workers, len(spans), p.Seed, func(shard int, rng *rand.Rand) shardCDFs {
+	// Accumulator factory: exact retention for small budgets (and as the
+	// test oracle), the fixed-bin log-histogram above the auto threshold
+	// or on request — O(bins) per shard regardless of the sample count.
+	useHist := p.Accum == AccumHist || (p.Accum == AccumAuto && total >= HistAutoSamples)
+	newAcc := func(reserve int) stats.Accumulator {
+		if useHist {
+			return stats.NewLogHistogram(p.Bins, mseLogMin, mseLogMax)
+		}
+		c := &stats.WeightedCDF{}
+		c.Reserve(reserve)
+		return c
+	}
+
+	outs := mc.Run(p.Workers, len(spans), p.Seed, func(shard int, rng *rand.Rand) []stats.Accumulator {
 		span := spans[shard]
-		cdfs := make(shardCDFs, len(schemes))
-		for j := range cdfs {
-			cdfs[j].Reserve(span.End - span.Start)
+		accs := make([]stats.Accumulator, len(schemes))
+		for j := range accs {
+			accs[j] = newAcc(span.End - span.Start)
 		}
 		sampler := NewRowSampler(p.Rows, p.Width)
 		// Locate the span's first (count, sample) pair, then stream
 		// through the count-major global order. Everything below Add is
-		// allocation-free: the sampler reuses its masks and each CDF was
-		// reserved to the span size.
+		// allocation-free: the sampler reuses its masks and each
+		// accumulator is either pre-reserved to the span size or
+		// fixed-size bins.
 		idx, off := 0, span.Start
 		for idx < len(plans) && off >= plans[idx].k {
 			off -= plans[idx].k
@@ -153,24 +238,24 @@ func MSECDFAll(p CDFParams, schemes []Scheme) []CDFResult {
 			}
 			sampler.Draw(rng, plans[idx].n)
 			for j, s := range schemes {
-				cdfs[j].Add(sampler.MSE(s), plans[idx].per)
+				accs[j].Add(sampler.MSE(s), plans[idx].per)
 			}
 			off++
 		}
-		return cdfs
+		return accs
 	})
 
 	p0 := stats.BinomialPMF(p.Cells(), p.Pcell, 0)
 	results := make([]CDFResult, len(schemes))
 	for j, s := range schemes {
-		cdf := &stats.WeightedCDF{}
-		cdf.Reserve(total)
+		acc := newAcc(total)
 		for _, shard := range outs {
-			cdf.Merge(&shard[j])
+			acc.Merge(shard[j])
 		}
 		results[j] = CDFResult{
 			Scheme:           s.Name(),
-			CDF:              cdf,
+			CDF:              acc,
+			Histogram:        useHist,
 			PZeroFailures:    p0,
 			Samples:          total,
 			MaxFailuresSwept: nmax,
@@ -192,7 +277,7 @@ func MSECDF(p CDFParams, s Scheme) CDFResult {
 // the fault-free mass Pr(N=0) (Eq. 5 evaluated as a yield criterion, §4).
 func (r CDFResult) YieldAtMSE(target float64) float64 {
 	p0 := r.PZeroFailures
-	if r.CDF.Len() == 0 {
+	if r.CDF.TotalWeight() == 0 {
 		return p0
 	}
 	// CDF is conditioned on N>=1 and its total weight approximates
@@ -207,7 +292,7 @@ func (r CDFResult) MSEAtYield(q float64) float64 {
 	if q <= r.PZeroFailures {
 		return 0
 	}
-	if r.CDF.Len() == 0 {
+	if r.CDF.TotalWeight() == 0 {
 		panic("yield: empty CDF cannot reach requested yield")
 	}
 	cond := (q - r.PZeroFailures) / r.CDF.TotalWeight()

@@ -81,26 +81,184 @@ func TestMSECDFAllShardCountChangesStreamsOnly(t *testing.T) {
 
 func TestHotPathZeroAllocs(t *testing.T) {
 	// The per-sample hot path — fault-map draw, residual evaluation for
-	// every Fig. 5 arm, CDF accumulation — must not allocate. This is the
-	// regression gate for the allocation-free engine rewrite.
+	// every Fig. 5 arm, accumulation — must not allocate, in both
+	// accumulator modes. This is the regression gate for the
+	// allocation-free engine rewrite and its histogram extension.
 	schemes := fig5Schemes()
-	sampler := NewRowSampler(4096, 32)
-	cdfs := make([]stats.WeightedCDF, len(schemes))
 	const rounds = 200
-	for j := range cdfs {
-		cdfs[j].Reserve(rounds + 1)
-	}
-	rng := stats.NewRand(1)
-	n := 1
-	avg := testing.AllocsPerRun(rounds, func() {
-		sampler.Draw(rng, n)
-		for j, s := range schemes {
-			cdfs[j].Add(sampler.MSE(s), 1e-6)
+	for _, mode := range []string{"exact", "hist"} {
+		accs := make([]stats.Accumulator, len(schemes))
+		for j := range accs {
+			if mode == "hist" {
+				accs[j] = stats.NewLogHistogram(0, -8, 20)
+			} else {
+				c := &stats.WeightedCDF{}
+				c.Reserve(rounds + 1)
+				accs[j] = c
+			}
 		}
-		n = n%6 + 1 // cycle realistic failure counts
-	})
-	if avg != 0 {
-		t.Fatalf("per-sample hot path allocates %.1f times", avg)
+		sampler := NewRowSampler(4096, 32)
+		rng := stats.NewRand(1)
+		n := 1
+		avg := testing.AllocsPerRun(rounds, func() {
+			sampler.Draw(rng, n)
+			for j, s := range schemes {
+				accs[j].Add(sampler.MSE(s), 1e-6)
+			}
+			n = n%6 + 1 // cycle realistic failure counts
+		})
+		if avg != 0 {
+			t.Fatalf("%s mode: per-sample hot path allocates %.1f times", mode, avg)
+		}
+	}
+}
+
+func TestMSECDFAllHistWorkerCountInvariance(t *testing.T) {
+	// The determinism contract holds in histogram mode too: shard
+	// histograms merge bin-wise in shard order, so every query is
+	// bit-identical for any worker count.
+	p := DefaultCDFParams()
+	p.Trun = 2e4
+	p.Accum = AccumHist
+	run := func(workers int) []CDFResult {
+		q := p
+		q.Workers = workers
+		return MSECDFAll(q, fig5Schemes())
+	}
+	ref := run(1)
+	for _, w := range []int{2, runtime.GOMAXPROCS(0), 13} {
+		got := run(w)
+		for j := range ref {
+			a, b := ref[j], got[j]
+			if !a.Histogram || !b.Histogram {
+				t.Fatalf("workers=%d %s: expected histogram mode", w, a.Scheme)
+			}
+			if math.Float64bits(a.CDF.TotalWeight()) != math.Float64bits(b.CDF.TotalWeight()) {
+				t.Fatalf("workers=%d %s: total weight differs", w, a.Scheme)
+			}
+			ax, ap := a.CDF.Points()
+			bx, bp := b.CDF.Points()
+			if len(ax) != len(bx) {
+				t.Fatalf("workers=%d %s: point counts differ", w, a.Scheme)
+			}
+			for i := range ax {
+				if math.Float64bits(ax[i]) != math.Float64bits(bx[i]) ||
+					math.Float64bits(ap[i]) != math.Float64bits(bp[i]) {
+					t.Fatalf("workers=%d %s: point %d differs", w, a.Scheme, i)
+				}
+			}
+			for _, q := range []float64{0.6, 0.9, 0.99, 0.999} {
+				qa, qb := a.MSEAtYield(q), b.MSEAtYield(q)
+				if math.Float64bits(qa) != math.Float64bits(qb) {
+					t.Fatalf("workers=%d %s: quantile at %g differs: %v != %v",
+						w, a.Scheme, q, qa, qb)
+				}
+			}
+		}
+	}
+}
+
+func TestHistogramAgreesWithExactOracle(t *testing.T) {
+	// The exact WeightedCDF is the oracle: across every Fig. 5 arm the
+	// histogram's CDF must agree within the straddling bin's mass at
+	// each grid point, and its quantiles within one bin width in log
+	// space.
+	p := DefaultCDFParams()
+	p.Trun = 2e4
+	schemes := fig5Schemes()
+
+	pe := p
+	pe.Accum = AccumExact
+	exact := MSECDFAll(pe, schemes)
+
+	ph := p
+	ph.Accum = AccumHist
+	hist := MSECDFAll(ph, schemes)
+
+	for j := range schemes {
+		e, h := exact[j], hist[j]
+		if e.Histogram || !h.Histogram {
+			t.Fatal("mode selection wrong")
+		}
+		lh := h.CDF.(*stats.LogHistogram)
+		width := lh.BinWidth()
+		if math.Abs(e.CDF.TotalWeight()-h.CDF.TotalWeight()) > 1e-12 {
+			t.Fatalf("%s: total weight %g vs %g", e.Scheme, h.CDF.TotalWeight(), e.CDF.TotalWeight())
+		}
+		for exp := -4.0; exp <= 8.0; exp += 0.5 {
+			x := math.Pow(10, exp)
+			binMass := h.CDF.P(x*math.Pow(10, width)) - h.CDF.P(x*math.Pow(10, -width))
+			if diff := math.Abs(h.CDF.P(x) - e.CDF.P(x)); diff > binMass+1e-9 {
+				t.Errorf("%s P(%g): hist %g vs exact %g (allowed %g)",
+					e.Scheme, x, h.CDF.P(x), e.CDF.P(x), binMass)
+			}
+		}
+		for _, q := range []float64{0.5, 0.8, 0.9, 0.99} {
+			he, ee := h.MSEAtYield(q), e.MSEAtYield(q)
+			if he == 0 && ee == 0 {
+				continue
+			}
+			if he <= 0 || ee <= 0 {
+				t.Errorf("%s MSE@%g: hist %g vs exact %g (one is zero)", e.Scheme, q, he, ee)
+				continue
+			}
+			if math.Abs(math.Log10(he)-math.Log10(ee)) > width+1e-9 {
+				t.Errorf("%s MSE@%g: hist %g vs exact %g (> one bin width)", e.Scheme, q, he, ee)
+			}
+		}
+	}
+}
+
+func TestHistogramModeFlatMemoryAtPaperBudget(t *testing.T) {
+	// The acceptance gate for the O(1)-memory path: a Trun=1e7 run must
+	// not retain per-sample state — the accumulator's footprint is the
+	// fixed bin array no matter how many samples stream through it.
+	p := DefaultCDFParams()
+	p.Trun = 1e7
+	p.MaxPerCount = 0 // the paper's full per-count budget
+	p.Accum = AccumAuto
+	schemes := fig5Schemes()
+	results := MSECDFAll(p, schemes)
+
+	small := DefaultCDFParams()
+	small.Trun = 1e5
+	small.Accum = AccumHist
+	smallRes := MSECDFAll(small, schemes[:1])[0]
+	smallHist := smallRes.CDF.(*stats.LogHistogram)
+
+	for _, r := range results {
+		if !r.Histogram {
+			t.Fatalf("%s: auto mode did not select the histogram at Trun=1e7 (%d samples)",
+				r.Scheme, r.Samples)
+		}
+		lh := r.CDF.(*stats.LogHistogram)
+		if got := int(lh.Count()); got != r.Samples {
+			t.Fatalf("%s: histogram streamed %d of %d samples", r.Scheme, got, r.Samples)
+		}
+		// Retained state is bounded by the bin geometry, not the budget:
+		// the 100x-larger run reports the same fixed capacity as the
+		// small one.
+		if lh.Bins() != smallHist.Bins() {
+			t.Fatalf("%s: bin capacity scaled with the budget (%d vs %d)",
+				r.Scheme, lh.Bins(), smallHist.Bins())
+		}
+		xs, _ := r.CDF.Points()
+		if len(xs) > lh.Bins()+2 {
+			t.Fatalf("%s: %d retained points exceed the %d-bin envelope",
+				r.Scheme, len(xs), lh.Bins()+2)
+		}
+	}
+}
+
+func TestAccumAutoStaysExactBelowThreshold(t *testing.T) {
+	p := DefaultCDFParams()
+	p.Trun = 1e4
+	r := MSECDFAll(p, fig5Schemes()[:1])[0]
+	if r.Histogram {
+		t.Fatalf("auto mode picked the histogram at %d samples", r.Samples)
+	}
+	if _, ok := r.CDF.(*stats.WeightedCDF); !ok {
+		t.Fatalf("exact mode result is %T", r.CDF)
 	}
 }
 
