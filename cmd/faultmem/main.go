@@ -184,7 +184,7 @@ func runFig7(args []string) error {
 	csvOut := fs.Bool("csv", false, "CSV output")
 	seed := fs.Int64("seed", 7, "random seed")
 	app := fs.String("app", "all", "benchmark: elasticnet|pca|knn|all")
-	trials := fs.Int("trials", 60, "Monte-Carlo trials per protection arm (paper: 500 per failure count)")
+	trials := fs.Int("trials", 60, "Monte-Carlo trials per protection arm (paper: 500 per failure count; warm trials are allocation-free, so large budgets are CPU-bound only)")
 	pcell := fs.Float64("pcell", 1e-3, "bit-cell failure probability")
 	paperPCA := fs.Bool("madelon500", false, "use the full 500-feature Madelon geometry (slow)")
 	workers := fs.Int("workers", 0, "trial worker goroutines (0 = all cores; results identical for any value)")

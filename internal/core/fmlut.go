@@ -14,6 +14,10 @@ import (
 type FMLUT struct {
 	cfg Config
 	x   []uint8
+	// Reprogram scratch: a sortable fault-map copy and a per-row column
+	// buffer, reused so per-trial table rebuilds are allocation-free.
+	scratch []fault.Fault
+	cols    []int
 }
 
 // NewFMLUT returns an all-zero (no shift) FM-LUT for the given row count.
@@ -38,10 +42,50 @@ func BuildFMLUT(cfg Config, rows int, faults fault.Map) (*FMLUT, error) {
 	}
 	l := NewFMLUT(cfg, rows)
 	for row, cols := range faults.ByRow() {
-		x, _ := cfg.BestX(cols)
-		l.x[row] = uint8(x)
+		l.x[row] = uint8(cfg.BestXCode(cols))
 	}
 	return l, nil
+}
+
+// Reprogram rebuilds the table in place for a new fault map — the
+// per-trial path of Monte-Carlo loops that reuse one memory per arm. It
+// produces exactly the entries BuildFMLUT would, but groups faults by
+// row with an internal scratch sort instead of allocating per-row maps,
+// so warm calls never touch the allocator.
+func (l *FMLUT) Reprogram(faults fault.Map) error {
+	rows := len(l.x)
+	if err := faults.Validate(rows, l.cfg.Width); err != nil {
+		return fmt.Errorf("core: bad fault map: %w", err)
+	}
+	clear(l.x)
+	if cap(l.scratch) < len(faults) {
+		l.scratch = make([]fault.Fault, len(faults))
+	}
+	s := l.scratch[:len(faults)]
+	copy(s, faults)
+	// Insertion sort by (row, col): allocation-free, and ascending cols
+	// per row matches the ByRow ordering BuildFMLUT feeds BestXCode.
+	for i := 1; i < len(s); i++ {
+		f := s[i]
+		j := i
+		for j > 0 && (s[j-1].Row > f.Row || (s[j-1].Row == f.Row && s[j-1].Col > f.Col)) {
+			s[j] = s[j-1]
+			j--
+		}
+		s[j] = f
+	}
+	l.scratch = s
+	cols := l.cols[:0]
+	for i := 0; i < len(s); {
+		row := s[i].Row
+		cols = cols[:0]
+		for ; i < len(s) && s[i].Row == row; i++ {
+			cols = append(cols, s[i].Col)
+		}
+		l.x[row] = uint8(l.cfg.BestXCode(cols))
+	}
+	l.cols = cols
+	return nil
 }
 
 // Config returns the shuffling configuration of the table.

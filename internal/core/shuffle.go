@@ -114,9 +114,23 @@ func (c Config) LogicalPosition(f, x int) int {
 // it picks the best achievable rotation (ties broken toward smaller x).
 // An empty cols yields x = 0 (no shift).
 func (c Config) BestX(cols []int) (x int, logical []int) {
-	c.mustValidate()
+	x = c.BestXCode(cols)
 	if len(cols) == 0 {
 		return 0, nil
+	}
+	logical = make([]int, len(cols))
+	for i, f := range cols {
+		logical[i] = c.LogicalPosition(f, x)
+	}
+	return x, logical
+}
+
+// BestXCode is BestX without materializing the logical positions — the
+// FM-LUT only stores x, so table (re)programming stays allocation-free.
+func (c Config) BestXCode(cols []int) int {
+	c.mustValidate()
+	if len(cols) == 0 {
+		return 0
 	}
 	bestCost := math.Inf(1)
 	bestX := 0
@@ -131,11 +145,7 @@ func (c Config) BestX(cols []int) (x int, logical []int) {
 			bestCost, bestX = cost, cand
 		}
 	}
-	logical = make([]int, len(cols))
-	for i, f := range cols {
-		logical[i] = c.LogicalPosition(f, bestX)
-	}
-	return bestX, logical
+	return bestX
 }
 
 // ResidualPositions returns the logical bit positions still corrupted in

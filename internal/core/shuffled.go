@@ -37,6 +37,18 @@ func NewShuffled(cfg Config, rows int, faults fault.Map) (*Shuffled, error) {
 	return &Shuffled{cfg: cfg, arr: arr, lut: lut}, nil
 }
 
+// Reset reinstalls a new data-geometry fault map in place: the array's
+// fault masks and the FM-LUT are rebuilt without reallocating, so
+// per-trial Monte-Carlo loops can reuse one memory per arm. Previously
+// stored words remain (a write-then-read cycle behaves exactly like a
+// freshly built memory).
+func (s *Shuffled) Reset(faults fault.Map) error {
+	if err := s.lut.Reprogram(faults); err != nil {
+		return err
+	}
+	return s.arr.SetFaults(faults)
+}
+
 // NewShuffledWithLUT builds the memory with an externally programmed
 // FM-LUT (the cmd/bistscan flow: BIST discovers faults, programs the
 // table, then the datapath uses it). The array's faults and the LUT are

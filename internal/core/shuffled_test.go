@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -197,5 +198,99 @@ func BenchmarkShuffledReadWrite(b *testing.B) {
 		a := i & 4095
 		s.Write(a, uint32(i))
 		_ = s.Read(a)
+	}
+}
+
+// TestReprogramMatchesBuildFMLUT pins the in-place rebuild against the
+// map-based builder, including rows with multiple faults (where the
+// per-row column ordering fed to BestXCode matters).
+func TestReprogramMatchesBuildFMLUT(t *testing.T) {
+	cfg := cfg32(2)
+	const rows = 32
+	rng := rand.New(rand.NewSource(51))
+	lut := NewFMLUT(cfg, rows)
+	for rep := 0; rep < 30; rep++ {
+		n := 1 + rng.Intn(20)
+		fm := make(fault.Map, 0, n)
+		seen := map[[2]int]bool{}
+		for len(fm) < n {
+			r, c := rng.Intn(rows), rng.Intn(32)
+			if seen[[2]int{r, c}] {
+				continue
+			}
+			seen[[2]int{r, c}] = true
+			fm = append(fm, fault.Fault{Row: r, Col: c, Kind: fault.Flip})
+		}
+		want, err := BuildFMLUT(cfg, rows, fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lut.Reprogram(fm); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < rows; r++ {
+			if lut.X(r) != want.X(r) {
+				t.Fatalf("rep %d row %d: Reprogram x=%d, BuildFMLUT x=%d", rep, r, lut.X(r), want.X(r))
+			}
+		}
+	}
+	if err := lut.Reprogram(fault.Map{{Row: 0, Col: 99, Kind: fault.Flip}}); err == nil {
+		t.Error("Reprogram accepted out-of-range fault")
+	}
+}
+
+// TestShuffledResetMatchesFreshBuild pins Shuffled.Reset: a reused
+// memory must read and write exactly like a freshly built one.
+func TestShuffledResetMatchesFreshBuild(t *testing.T) {
+	cfg := cfg32(2)
+	const rows = 48
+	rng := rand.New(rand.NewSource(52))
+	fm1 := fault.Map{{Row: 1, Col: 3, Kind: fault.Flip}, {Row: 7, Col: 31, Kind: fault.StuckAt1}}
+	fm2 := fault.Map{
+		{Row: 2, Col: 14, Kind: fault.StuckAt0},
+		{Row: 2, Col: 29, Kind: fault.Flip},
+		{Row: 40, Col: 0, Kind: fault.Flip},
+	}
+	reused, err := NewShuffled(cfg, rows, fm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < rows; a++ {
+		reused.Write(a, rng.Uint32())
+	}
+	if err := reused.Reset(fm2); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewShuffled(cfg, rows, fm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < rows; a++ {
+		v := rng.Uint32()
+		reused.Write(a, v)
+		fresh.Write(a, v)
+		if g, w := reused.Read(a), fresh.Read(a); g != w {
+			t.Fatalf("addr %d after Reset reads %#x, fresh build reads %#x", a, g, w)
+		}
+	}
+}
+
+// TestShuffledResetWarmZeroAlloc pins the hot-loop property.
+func TestShuffledResetWarmZeroAlloc(t *testing.T) {
+	cfg := cfg32(2)
+	fm := fault.Map{{Row: 3, Col: 7, Kind: fault.Flip}, {Row: 3, Col: 19, Kind: fault.Flip}}
+	s, err := NewShuffled(cfg, 48, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(fm); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(10, func() {
+		if err := s.Reset(fm); err != nil {
+			t.Error(err)
+		}
+	}); a != 0 {
+		t.Errorf("warm Shuffled.Reset allocates %v/run, want 0", a)
 	}
 }

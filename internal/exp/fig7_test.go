@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"faultmem/internal/fault"
+	"faultmem/internal/mat"
+	"faultmem/internal/memstore"
+	"faultmem/internal/stats"
+)
+
+// TestQualityAtYieldQuantileConvention pins the ceil(level*n)-1
+// empirical-quantile fix: the level-quantile is the smallest sample with
+// Pr(quality <= q) >= level, matching stats.WeightedCDF.Quantile — not
+// the sample one position above it.
+func TestQualityAtYieldQuantileConvention(t *testing.T) {
+	arm := Fig7Arm{Qualities: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}}
+	cases := []struct {
+		level, want float64
+	}{
+		{0.10, 0.1}, // the old int(level*n) indexing read 0.2 here
+		{0.50, 0.5},
+		{0.55, 0.6},
+		{1.00, 1.0},
+	}
+	for _, c := range cases {
+		if got := arm.QualityAtYield(c.level); got != c.want {
+			t.Errorf("QualityAtYield(%g) = %g, want %g", c.level, got, c.want)
+		}
+	}
+
+	// The 60-trial case from the bug report: q10 must be the 6th-smallest
+	// sample (index 5), not the 7th.
+	qs := make([]float64, 60)
+	for i := range qs {
+		qs[i] = float64(i + 1)
+	}
+	arm60 := Fig7Arm{Qualities: qs}
+	if got := arm60.QualityAtYield(0.10); got != 6 {
+		t.Errorf("q10 of 60 trials = sample %g, want 6 (index 5)", got)
+	}
+
+	// Cross-check the convention against stats.WeightedCDF on random
+	// samples and levels.
+	rng := rand.New(rand.NewSource(9))
+	for rep := 0; rep < 20; rep++ {
+		n := 1 + rng.Intn(40)
+		sample := make([]float64, n)
+		var cdf stats.WeightedCDF
+		for i := range sample {
+			sample[i] = rng.Float64()
+			cdf.Add(sample[i], 1)
+		}
+		a := Fig7Arm{Qualities: append([]float64(nil), sample...)}
+		sortFloats(a.Qualities)
+		level := rng.Float64()
+		if level == 0 {
+			level = 0.5
+		}
+		if got, want := a.QualityAtYield(level), cdf.Quantile(level); got != want {
+			t.Fatalf("n=%d level=%g: QualityAtYield %g != WeightedCDF.Quantile %g", n, level, got, want)
+		}
+	}
+}
+
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestCDFAtEmptyArm pins the 0/0 fix: an empty arm has no mass below any
+// threshold, so CDFAt reports 0 instead of NaN (QualityAtYield keeps its
+// panic-on-empty contract).
+func TestCDFAtEmptyArm(t *testing.T) {
+	var arm Fig7Arm
+	if got := arm.CDFAt(0.5); got != 0 || math.IsNaN(got) {
+		t.Errorf("CDFAt on empty arm = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("QualityAtYield on empty arm did not panic")
+		}
+	}()
+	arm.QualityAtYield(0.5)
+}
+
+// TestFig7EvaluatePropagatesFitError pins the swallowed-error fix: a fit
+// failure (always a programming error, never fault-induced) surfaces as
+// an error instead of silently recording quality 0.
+func TestFig7EvaluatePropagatesFitError(t *testing.T) {
+	for _, app := range []App{AppElasticnet, AppPCA, AppKNN} {
+		p := DefaultFig7Params(app)
+		w, err := p.prepare()
+		if err != nil {
+			t.Fatalf("%v: prepare: %v", app, err)
+		}
+		// One training sample breaks every model's fit invariants
+		// (n < 2 for elastic net / PCA, n < K for KNN).
+		_, d := w.train.X.Dims()
+		bad := mat.NewDense(1, d)
+		if _, err := w.evaluate(nil, bad, []float64{1}); err == nil {
+			t.Errorf("%v: evaluate on invalid training set returned no error", app)
+		}
+	}
+}
+
+// TestFig7TrialWarmAllocs pins the workspace payoff end to end: a warm
+// Fig. 7 trial (fault map + 4 arms + round-trip + retrain + score) must
+// run with ~10 allocations, down from several hundred before the
+// reusable memories and ml fit workspaces (>90% fewer).
+func TestFig7TrialWarmAllocs(t *testing.T) {
+	p := DefaultFig7Params(AppElasticnet)
+	w, err := p.prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedBase := stats.DeriveSeed(p.Seed, 1000)
+	runner := newFig7TrialRunner(p, w)
+	var buf []float64
+	for trial := 0; trial < 3; trial++ { // warm up every arm's scratch
+		if buf, err = runner.runTrial(seedBase, trial, buf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trial := 3
+	allocs := testing.AllocsPerRun(5, func() {
+		var err error
+		buf, err = runner.runTrial(seedBase, trial, buf[:0])
+		if err != nil {
+			t.Error(err)
+		}
+		trial++
+	})
+	if allocs > 40 {
+		t.Errorf("warm Fig7 trial allocates %v times, want <= 40 (was ~680 before workspaces)", allocs)
+	}
+}
+
+// benchFig7Trial measures ONE Monte-Carlo trial (fault map + all four
+// protection arms + round-trip + model retrain + score), the unit the
+// Trials budget scales by. warm=true runs the engine's actual per-shard
+// path (fig7TrialRunner: reused memories, round-trip scratch, and ML
+// fit workspaces); warm=false rebuilds the memories and fit buffers
+// every trial — the pre-workspace behaviour — for the before/after
+// allocation comparison.
+func benchFig7Trial(b *testing.B, app App, warm bool) {
+	p := DefaultFig7Params(app)
+	w, err := p.prepare()
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedBase := stats.DeriveSeed(p.Seed, 1000)
+	b.ReportAllocs()
+	if warm {
+		runner := newFig7TrialRunner(p, w)
+		var buf []float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if buf, err = runner.runTrial(seedBase, i, buf[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	codec := memstore.DefaultCodec()
+	cells := p.Rows * 32
+	arms := Fig7Arms()
+	var ws memstore.Workspace
+	sink := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := stats.Derive(seedBase, int64(i))
+		n := 0
+		for n == 0 {
+			n = stats.SampleBinomial(rng, cells, p.Pcell)
+		}
+		fm := fault.GenerateCount(rng, p.Rows, 32, n, fault.Flip)
+		for _, arm := range arms {
+			m, err := arm.Build(p.Rows, fm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			xc, yc := codec.RoundTripDatasetInto(&ws, m, w.train.X, w.train.Y)
+			q, err := w.evaluate(nil, xc, yc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += q
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkFig7Trial* pin the per-trial cost of the Fig. 7 engine with
+// warm per-shard workspaces; the *Fresh variants rebuild memories and
+// ml fit buffers per trial for comparison.
+func BenchmarkFig7TrialElasticnet(b *testing.B) { benchFig7Trial(b, AppElasticnet, true) }
+func BenchmarkFig7TrialPCA(b *testing.B)        { benchFig7Trial(b, AppPCA, true) }
+func BenchmarkFig7TrialKNN(b *testing.B)        { benchFig7Trial(b, AppKNN, true) }
+
+func BenchmarkFig7TrialElasticnetFresh(b *testing.B) { benchFig7Trial(b, AppElasticnet, false) }
+func BenchmarkFig7TrialPCAFresh(b *testing.B)        { benchFig7Trial(b, AppPCA, false) }
+func BenchmarkFig7TrialKNNFresh(b *testing.B)        { benchFig7Trial(b, AppKNN, false) }

@@ -57,6 +57,23 @@ type Map []Fault
 // Validate checks that every fault lies within a rows x width array and
 // that no cell is listed twice. It returns a descriptive error otherwise.
 func (m Map) Validate(rows, width int) error {
+	// Small maps (the per-trial Monte-Carlo path: ~Pcell*cells faults)
+	// use a quadratic duplicate scan so validation stays allocation-free
+	// in hot loops; large maps fall back to a hash set.
+	const smallMap = 512
+	if len(m) <= smallMap {
+		for j, f := range m {
+			if f.Row < 0 || f.Row >= rows || f.Col < 0 || f.Col >= width {
+				return fmt.Errorf("fault %d at (%d,%d) outside %dx%d array", j, f.Row, f.Col, rows, width)
+			}
+			for i := 0; i < j; i++ {
+				if m[i].Row == f.Row && m[i].Col == f.Col {
+					return fmt.Errorf("duplicate fault at (%d,%d)", f.Row, f.Col)
+				}
+			}
+		}
+		return nil
+	}
 	seen := make(map[[2]int]struct{}, len(m))
 	for i, f := range m {
 		if f.Row < 0 || f.Row >= rows || f.Col < 0 || f.Col >= width {

@@ -114,6 +114,35 @@ func (m *Dense) Clone() *Dense {
 	return n
 }
 
+// Copy overwrites m with src. It panics on dimension mismatch.
+func (m *Dense) Copy(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("mat: Copy dimension mismatch %dx%d vs %dx%d",
+			m.rows, m.cols, src.rows, src.cols))
+	}
+	copy(m.data, src.data)
+}
+
+// Reshape returns an r x c zero matrix, reusing m's backing storage when
+// its capacity suffices (m may be nil or any prior shape). It is the
+// growth primitive behind the reusable fit workspaces: a warm workspace
+// matrix is resized and cleared without touching the allocator. The
+// clear is deliberate even when callers overwrite every cell — it is a
+// single linear memset, negligible next to any fit's compute, and it
+// keeps stale-data bugs impossible.
+func Reshape(m *Dense, r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", r, c))
+	}
+	if m == nil || cap(m.data) < r*c {
+		return NewDense(r, c)
+	}
+	m.rows, m.cols = r, c
+	m.data = m.data[:r*c]
+	clear(m.data)
+	return m
+}
+
 // T returns the transpose as a new matrix.
 func (m *Dense) T() *Dense {
 	t := NewDense(m.cols, m.rows)
@@ -127,10 +156,22 @@ func (m *Dense) T() *Dense {
 
 // Mul returns a*b. It panics on dimension mismatch.
 func Mul(a, b *Dense) *Dense {
+	return MulInto(NewDense(a.rows, b.cols), a, b)
+}
+
+// MulInto computes a*b into dst (which must be a.rows x b.cols) and
+// returns dst. Prior contents of dst are discarded; dst must not alias
+// a or b (it is zeroed before the inputs are read). It panics on
+// dimension mismatch.
+func MulInto(dst, a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := NewDense(a.rows, b.cols)
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto destination %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	out := dst
+	clear(out.data)
 	for i := 0; i < a.rows; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		orow := out.data[i*out.cols : (i+1)*out.cols]
@@ -194,7 +235,16 @@ func SqDist(x, y []float64) float64 {
 
 // ColMeans returns the per-column means of m.
 func ColMeans(m *Dense) []float64 {
-	mu := make([]float64, m.cols)
+	return ColMeansInto(make([]float64, m.cols), m)
+}
+
+// ColMeansInto computes the per-column means of m into mu (which must
+// have length cols) and returns mu.
+func ColMeansInto(mu []float64, m *Dense) []float64 {
+	if len(mu) != m.cols {
+		panic(fmt.Sprintf("mat: ColMeansInto length %d, want %d", len(mu), m.cols))
+	}
+	clear(mu)
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
@@ -210,8 +260,17 @@ func ColMeans(m *Dense) []float64 {
 // ColStds returns the per-column sample standard deviations of m
 // (ddof = 1; a zero-variance column reports 0).
 func ColStds(m *Dense) []float64 {
-	mu := ColMeans(m)
-	sd := make([]float64, m.cols)
+	return ColStdsInto(make([]float64, m.cols), m, ColMeans(m))
+}
+
+// ColStdsInto computes the per-column sample standard deviations of m
+// (ddof = 1) into sd, given the precomputed column means mu, and returns
+// sd. Both slices must have length cols.
+func ColStdsInto(sd []float64, m *Dense, mu []float64) []float64 {
+	if len(sd) != m.cols || len(mu) != m.cols {
+		panic(fmt.Sprintf("mat: ColStdsInto lengths %d/%d, want %d", len(sd), len(mu), m.cols))
+	}
+	clear(sd)
 	if m.rows < 2 {
 		return sd
 	}
@@ -248,27 +307,55 @@ func FitStandardizer(m *Dense) *Standardizer {
 
 // Apply returns a standardized copy of m using the learned transform.
 func (s *Standardizer) Apply(m *Dense) *Dense {
+	out := NewDense(m.rows, m.cols)
+	return s.ApplyInto(out, m)
+}
+
+// ApplyInto writes the standardized transform of m into dst (which must
+// have m's dimensions) and returns dst. Prior contents of dst are
+// discarded; dst must not alias m unless they are the same matrix.
+func (s *Standardizer) ApplyInto(dst, m *Dense) *Dense {
 	if m.cols != len(s.Mean) {
 		panic("mat: Standardizer dimension mismatch")
 	}
-	out := m.Clone()
-	for i := 0; i < out.rows; i++ {
-		row := out.data[i*out.cols : (i+1)*out.cols]
+	if dst.rows != m.rows || dst.cols != m.cols {
+		panic(fmt.Sprintf("mat: ApplyInto destination %dx%d, want %dx%d",
+			dst.rows, dst.cols, m.rows, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		src := m.data[i*m.cols : (i+1)*m.cols]
+		row := dst.data[i*dst.cols : (i+1)*dst.cols]
 		for j := range row {
-			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+			row[j] = (src[j] - s.Mean[j]) / s.Std[j]
 		}
 	}
-	return out
+	return dst
 }
 
 // Covariance returns the (cols x cols) sample covariance matrix of m
 // (ddof = 1). PCA consumes this.
 func Covariance(m *Dense) *Dense {
+	return CovarianceInto(NewDense(m.cols, m.cols), m, nil)
+}
+
+// CovarianceInto computes the sample covariance matrix of m (ddof = 1)
+// into dst (which must be cols x cols) and returns dst. mu is an
+// optional length-cols scratch slice for the column means (nil
+// allocates); prior contents of dst and mu are discarded.
+func CovarianceInto(dst *Dense, m *Dense, mu []float64) *Dense {
 	if m.rows < 2 {
 		panic("mat: Covariance needs at least 2 rows")
 	}
-	mu := ColMeans(m)
-	c := NewDense(m.cols, m.cols)
+	if dst.rows != m.cols || dst.cols != m.cols {
+		panic(fmt.Sprintf("mat: CovarianceInto destination %dx%d, want %dx%d",
+			dst.rows, dst.cols, m.cols, m.cols))
+	}
+	if mu == nil {
+		mu = make([]float64, m.cols)
+	}
+	ColMeansInto(mu, m)
+	c := dst
+	clear(c.data)
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for a := 0; a < m.cols; a++ {

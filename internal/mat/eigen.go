@@ -3,8 +3,17 @@ package mat
 import (
 	"fmt"
 	"math"
-	"sort"
 )
+
+// EigenScratch holds the working storage of EigenSymIn — the rotated
+// matrix copy, the accumulated rotation matrix, and the eigenvalue
+// sorting buffers — so repeated decompositions of same-sized matrices
+// reuse one allocation set. The zero value is ready to use.
+type EigenScratch struct {
+	w, v, vecs     *Dense
+	values, sorted []float64
+	idx            []int
+}
 
 // EigenSym computes the full eigendecomposition of a symmetric matrix
 // using the cyclic Jacobi rotation method. It returns eigenvalues in
@@ -15,6 +24,17 @@ import (
 // which fits the dimensionalities in the paper's PCA benchmark
 // (Madelon: 500 features).
 func EigenSym(a *Dense) (values []float64, vectors *Dense) {
+	return EigenSymIn(nil, a)
+}
+
+// EigenSymIn is EigenSym backed by reusable scratch storage: the
+// returned slice and matrix alias s and stay valid only until the next
+// EigenSymIn call on the same scratch. A nil s allocates fresh storage
+// (equivalent to EigenSym).
+func EigenSymIn(s *EigenScratch, a *Dense) (values []float64, vectors *Dense) {
+	if s == nil {
+		s = &EigenScratch{}
+	}
 	n, c := a.Dims()
 	if n != c {
 		panic(fmt.Sprintf("mat: EigenSym of non-square %dx%d", n, c))
@@ -30,8 +50,11 @@ func EigenSym(a *Dense) (values []float64, vectors *Dense) {
 		}
 	}
 
-	w := a.Clone()
-	v := NewDense(n, n)
+	s.w = Reshape(s.w, n, n)
+	s.w.Copy(a)
+	w := s.w
+	s.v = Reshape(s.v, n, n)
+	v := s.v
 	for i := 0; i < n; i++ {
 		v.Set(i, i, 1)
 	}
@@ -73,25 +96,62 @@ func EigenSym(a *Dense) (values []float64, vectors *Dense) {
 		}
 	}
 
-	values = make([]float64, n)
+	s.values = growFloats(s.values, n)
+	vals := s.values
 	for i := 0; i < n; i++ {
-		values[i] = w.At(i, i)
+		vals[i] = w.At(i, i)
 	}
-	// Sort eigenpairs by descending eigenvalue.
-	idx := make([]int, n)
+	// Sort eigenpairs by descending eigenvalue (insertion sort: it is
+	// allocation-free, and with the original-index tie break the
+	// permutation is fully deterministic).
+	s.idx = growInts(s.idx, n)
+	idx := s.idx
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
-	sorted := make([]float64, n)
-	vecs := NewDense(n, n)
+	for k := 1; k < n; k++ {
+		cur := idx[k]
+		j := k
+		for j > 0 && eigenBefore(vals, cur, idx[j-1]) {
+			idx[j] = idx[j-1]
+			j--
+		}
+		idx[j] = cur
+	}
+	s.sorted = growFloats(s.sorted, n)
+	sorted := s.sorted
+	s.vecs = Reshape(s.vecs, n, n)
+	vecs := s.vecs
 	for k, i := range idx {
-		sorted[k] = values[i]
+		sorted[k] = vals[i]
 		for r := 0; r < n; r++ {
 			vecs.Set(r, k, v.At(r, i))
 		}
 	}
 	return sorted, vecs
+}
+
+// eigenBefore orders eigenpair a before b: larger eigenvalue first,
+// original position first among exact ties.
+func eigenBefore(vals []float64, a, b int) bool {
+	if vals[a] != vals[b] {
+		return vals[a] > vals[b]
+	}
+	return a < b
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // rotate applies the Jacobi rotation J(p,q,theta) to w (two-sided) and

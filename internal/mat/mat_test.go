@@ -354,3 +354,197 @@ func BenchmarkEigenSym50(b *testing.B) {
 		EigenSym(a)
 	}
 }
+
+// randMat fills an r x c matrix from rng.
+func randMat(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func sameDense(a, b *Dense) bool {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		return false
+	}
+	for i := 0; i < ar; i++ {
+		for j := 0; j < ac; j++ {
+			if math.Float64bits(a.At(i, j)) != math.Float64bits(b.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestReshape(t *testing.T) {
+	m := Reshape(nil, 3, 4)
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("Reshape(nil) dims = %dx%d", r, c)
+	}
+	m.Set(2, 3, 9)
+	// Shrinking reuses the storage and clears it.
+	n := Reshape(m, 2, 2)
+	if n != m {
+		t.Error("Reshape did not reuse sufficient capacity")
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if n.At(i, j) != 0 {
+				t.Errorf("Reshape left stale value at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Growing past capacity allocates fresh zeroed storage.
+	g := Reshape(n, 5, 5)
+	if g == n {
+		t.Error("Reshape reused insufficient capacity")
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if g.At(i, j) != 0 {
+				t.Errorf("grown Reshape not zero at (%d,%d)", i, j)
+			}
+		}
+	}
+	mustPanicMat(t, func() { Reshape(nil, 0, 3) })
+}
+
+func TestCopyInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := randMat(rng, 4, 3)
+	dst := NewDense(4, 3)
+	dst.Copy(src)
+	if !sameDense(dst, src) {
+		t.Error("Copy mismatch")
+	}
+	mustPanicMat(t, func() { NewDense(3, 4).Copy(src) })
+}
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randMat(rng, 5, 7)
+	b := randMat(rng, 7, 4)
+	want := Mul(a, b)
+	dst := NewDense(5, 4)
+	// Poison dst to verify prior contents are discarded.
+	dst.Set(0, 0, 1e9)
+	got := MulInto(dst, a, b)
+	if got != dst {
+		t.Error("MulInto did not return dst")
+	}
+	if !sameDense(got, want) {
+		t.Error("MulInto != Mul")
+	}
+	mustPanicMat(t, func() { MulInto(NewDense(5, 5), a, b) })
+}
+
+func TestApplyIntoMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randMat(rng, 20, 6)
+	s := FitStandardizer(m)
+	want := s.Apply(m)
+	dst := NewDense(20, 6)
+	dst.Set(3, 3, 42)
+	if got := s.ApplyInto(dst, m); !sameDense(got, want) {
+		t.Error("ApplyInto != Apply")
+	}
+	mustPanicMat(t, func() { s.ApplyInto(NewDense(19, 6), m) })
+}
+
+func TestColMeansStdsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := randMat(rng, 30, 5)
+	mu := ColMeansInto(make([]float64, 5), m)
+	wantMu := ColMeans(m)
+	sd := ColStdsInto(make([]float64, 5), m, mu)
+	wantSd := ColStds(m)
+	for j := 0; j < 5; j++ {
+		if math.Float64bits(mu[j]) != math.Float64bits(wantMu[j]) {
+			t.Errorf("ColMeansInto[%d] = %g, want %g", j, mu[j], wantMu[j])
+		}
+		if math.Float64bits(sd[j]) != math.Float64bits(wantSd[j]) {
+			t.Errorf("ColStdsInto[%d] = %g, want %g", j, sd[j], wantSd[j])
+		}
+	}
+	mustPanicMat(t, func() { ColMeansInto(make([]float64, 4), m) })
+	mustPanicMat(t, func() { ColStdsInto(make([]float64, 4), m, mu) })
+}
+
+func TestCovarianceIntoMatchesCovariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	m := randMat(rng, 40, 6)
+	want := Covariance(m)
+	dst := NewDense(6, 6)
+	dst.Set(0, 0, -77)
+	if got := CovarianceInto(dst, m, make([]float64, 6)); !sameDense(got, want) {
+		t.Error("CovarianceInto != Covariance")
+	}
+	// nil mu scratch allocates internally.
+	if got := CovarianceInto(NewDense(6, 6), m, nil); !sameDense(got, want) {
+		t.Error("CovarianceInto(nil mu) != Covariance")
+	}
+	mustPanicMat(t, func() { CovarianceInto(NewDense(5, 6), m, nil) })
+}
+
+// TestEigenSymInMatchesEigenSym verifies the scratch-backed decomposition
+// is bit-identical to the fresh one, including across reuses of the same
+// scratch at different sizes.
+func TestEigenSymInMatchesEigenSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	var scratch EigenScratch
+	for _, n := range []int{8, 5, 12, 12, 3} {
+		a := Covariance(randMat(rng, 3*n, n))
+		wantVals, wantVecs := EigenSym(a)
+		gotVals, gotVecs := EigenSymIn(&scratch, a)
+		for i := range wantVals {
+			if math.Float64bits(gotVals[i]) != math.Float64bits(wantVals[i]) {
+				t.Fatalf("n=%d: eigenvalue %d differs: %g vs %g", n, i, gotVals[i], wantVals[i])
+			}
+		}
+		if !sameDense(gotVecs, wantVecs) {
+			t.Fatalf("n=%d: eigenvectors differ", n)
+		}
+	}
+}
+
+// TestEigenSymInZeroAlloc pins the workspace contract: a warm scratch
+// decomposes without touching the allocator.
+func TestEigenSymInZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := Covariance(randMat(rng, 60, 10))
+	var scratch EigenScratch
+	EigenSymIn(&scratch, a) // warm up
+	if allocs := testing.AllocsPerRun(10, func() { EigenSymIn(&scratch, a) }); allocs != 0 {
+		t.Errorf("warm EigenSymIn allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestEigenSymTieOrder pins the deterministic tie break: exactly equal
+// eigenvalues keep their diagonal order.
+func TestEigenSymTieOrder(t *testing.T) {
+	a := FromRows([][]float64{{2, 0, 0}, {0, 2, 0}, {0, 0, 1}})
+	vals, vecs := EigenSym(a)
+	if vals[0] != 2 || vals[1] != 2 || vals[2] != 1 {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	// The two tied unit eigenvectors keep original index order: e0, e1.
+	if vecs.At(0, 0) == 0 || vecs.At(1, 1) == 0 {
+		t.Errorf("tied eigenvectors reordered: %v %v", vecs.Col(0), vecs.Col(1))
+	}
+}
+
+func mustPanicMat(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

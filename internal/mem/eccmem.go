@@ -17,6 +17,10 @@ type ECC struct {
 	arr   *sram.Array
 	code  *ecc.Code
 	stats Stats
+	// Reset scratch: cached data-bit codeword positions and a reusable
+	// translated-fault buffer.
+	dataPos []int
+	physBuf fault.Map
 }
 
 // NewECC builds an H(39,32)-protected memory over rows words. dataFaults
@@ -35,7 +39,25 @@ func NewECC(rows int, dataFaults, checkFaults fault.Map) (*ECC, error) {
 	if err := arr.SetFaults(translated); err != nil {
 		return nil, err
 	}
-	return &ECC{arr: arr, code: code}, nil
+	return &ECC{arr: arr, code: code, dataPos: code.DataPositions()}, nil
+}
+
+// Reset reinstalls a new data-geometry fault map in place with
+// fault-free check bits and zeroed decode stats (see Resetter).
+func (e *ECC) Reset(dataFaults fault.Map) error {
+	if err := dataFaults.Validate(e.arr.Rows(), e.code.DataBits()); err != nil {
+		return fmt.Errorf("mem: bad data fault map: %w", err)
+	}
+	if cap(e.physBuf) < len(dataFaults) {
+		e.physBuf = make(fault.Map, 0, len(dataFaults))
+	}
+	phys := e.physBuf[:0]
+	for _, f := range dataFaults {
+		phys = append(phys, fault.Fault{Row: f.Row, Col: e.dataPos[f.Col], Kind: f.Kind})
+	}
+	e.physBuf = phys
+	e.stats = Stats{}
+	return e.arr.SetFaults(phys)
 }
 
 // translateCodewordFaults maps data-geometry and check-bit-geometry fault
@@ -109,6 +131,10 @@ type PECC struct {
 	code    *ecc.Code
 	lowBits int
 	stats   Stats
+	// Reset scratch: cached data-bit codeword positions and a reusable
+	// translated-fault buffer.
+	dataPos []int
+	physBuf fault.Map
 }
 
 // NewPECC builds the paper's H(22,16)-on-16-MSBs priority-ECC memory.
@@ -160,7 +186,29 @@ func NewPartialECC(rows, protectedMSBs int, dataFaults, checkFaults fault.Map) (
 	if err := arr.SetFaults(phys); err != nil {
 		return nil, err
 	}
-	return &PECC{arr: arr, code: code, lowBits: lowBits}, nil
+	return &PECC{arr: arr, code: code, lowBits: lowBits, dataPos: dataPos}, nil
+}
+
+// Reset reinstalls a new data-geometry fault map in place with
+// fault-free check bits and zeroed decode stats (see Resetter).
+func (p *PECC) Reset(dataFaults fault.Map) error {
+	if err := dataFaults.Validate(p.arr.Rows(), DataWidth); err != nil {
+		return fmt.Errorf("mem: bad data fault map: %w", err)
+	}
+	if cap(p.physBuf) < len(dataFaults) {
+		p.physBuf = make(fault.Map, 0, len(dataFaults))
+	}
+	phys := p.physBuf[:0]
+	for _, f := range dataFaults {
+		col := f.Col
+		if col >= p.lowBits {
+			col = p.lowBits + p.dataPos[f.Col-p.lowBits]
+		}
+		phys = append(phys, fault.Fault{Row: f.Row, Col: col, Kind: f.Kind})
+	}
+	p.physBuf = phys
+	p.stats = Stats{}
+	return p.arr.SetFaults(phys)
 }
 
 // Read returns the word at addr: raw low bits, decoded high bits.
@@ -248,4 +296,8 @@ var (
 	_ Word32 = (*ECC)(nil)
 	_ Word32 = (*PECC)(nil)
 	_ Word32 = (*Banked)(nil)
+
+	_ Resetter = (*Raw)(nil)
+	_ Resetter = (*ECC)(nil)
+	_ Resetter = (*PECC)(nil)
 )

@@ -34,6 +34,17 @@ type Word32 interface {
 // DataWidth is the logical word width of every memory in this package.
 const DataWidth = 32
 
+// Resetter is implemented by memories that can reinstall a new
+// data-geometry fault map in place, reusing their internal storage —
+// the per-trial path of Monte-Carlo loops that rebuild one memory per
+// (trial, arm) instead of constructing fresh ones. Reset models check
+// bits fault-free (the paper's Eq. 6 default), zeroes any decode
+// statistics, and leaves previously stored words in place: a subsequent
+// write-then-read cycle behaves exactly like a freshly built memory.
+type Resetter interface {
+	Reset(dataFaults fault.Map) error
+}
+
 // Perfect is an ideal fault-free memory, the golden reference.
 type Perfect struct {
 	data []uint32
@@ -71,6 +82,10 @@ func NewRaw(rows int, faults fault.Map) (*Raw, error) {
 	}
 	return &Raw{arr: arr}, nil
 }
+
+// Reset reinstalls a new data-geometry fault map in place (see
+// Resetter).
+func (r *Raw) Reset(dataFaults fault.Map) error { return r.arr.SetFaults(dataFaults) }
 
 // Read returns the (possibly corrupted) word at addr.
 func (r *Raw) Read(addr int) uint32 { return uint32(r.arr.Read(addr)) }

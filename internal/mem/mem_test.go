@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -275,4 +276,111 @@ func TestAllSchemesAgreeWhenFaultFree(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestResetMatchesFreshBuild pins the mem.Resetter contract: a memory
+// carried across Monte-Carlo trials and Reset with a new fault map must
+// behave exactly like one freshly built with that map.
+func TestResetMatchesFreshBuild(t *testing.T) {
+	const rows = 64
+	rng := rand.New(rand.NewSource(41))
+	randomMap := func(n int) fault.Map {
+		m := make(fault.Map, 0, n)
+		seen := map[[2]int]bool{}
+		kinds := []fault.Kind{fault.Flip, fault.StuckAt0, fault.StuckAt1}
+		for len(m) < n {
+			r, c := rng.Intn(rows), rng.Intn(32)
+			if seen[[2]int{r, c}] {
+				continue
+			}
+			seen[[2]int{r, c}] = true
+			m = append(m, fault.Fault{Row: r, Col: c, Kind: kinds[rng.Intn(len(kinds))]})
+		}
+		return m
+	}
+	builders := []struct {
+		name  string
+		build func(fm fault.Map) (Word32, error)
+	}{
+		{"Raw", func(fm fault.Map) (Word32, error) { return NewRaw(rows, fm) }},
+		{"ECC", func(fm fault.Map) (Word32, error) { return NewECC(rows, fm, nil) }},
+		{"PECC", func(fm fault.Map) (Word32, error) { return NewPECC(rows, fm, nil) }},
+	}
+	for _, bld := range builders {
+		fm1, fm2 := randomMap(10), randomMap(14)
+		reused, err := bld.build(fm1)
+		if err != nil {
+			t.Fatalf("%s: %v", bld.name, err)
+		}
+		// Dirty the stored data under the first fault map.
+		for a := 0; a < rows; a++ {
+			reused.Write(a, rng.Uint32())
+		}
+		if err := reused.(Resetter).Reset(fm2); err != nil {
+			t.Fatalf("%s: Reset: %v", bld.name, err)
+		}
+		fresh, err := bld.build(fm2)
+		if err != nil {
+			t.Fatalf("%s: %v", bld.name, err)
+		}
+		for a := 0; a < rows; a++ {
+			v := rng.Uint32()
+			reused.Write(a, v)
+			fresh.Write(a, v)
+			if g, w := reused.Read(a), fresh.Read(a); g != w {
+				t.Fatalf("%s: addr %d after Reset reads %#x, fresh build reads %#x", bld.name, a, g, w)
+			}
+		}
+	}
+}
+
+// TestResetWarmZeroAlloc pins the hot-loop property the Fig. 7 engine
+// relies on: reinstalling a same-sized fault map in a warm memory does
+// not touch the allocator.
+func TestResetWarmZeroAlloc(t *testing.T) {
+	const rows = 64
+	fm := fault.Map{{Row: 3, Col: 7, Kind: fault.Flip}, {Row: 9, Col: 30, Kind: fault.Flip}}
+	for _, tc := range []struct {
+		name string
+		m    Resetter
+	}{
+		{"Raw", mustRaw(rows, fm)},
+		{"ECC", mustECC(rows, fm)},
+		{"PECC", mustPECC(rows, fm)},
+	} {
+		if err := tc.m.Reset(fm); err != nil { // warm up scratch
+			t.Fatal(err)
+		}
+		if a := testing.AllocsPerRun(10, func() {
+			if err := tc.m.Reset(fm); err != nil {
+				t.Error(err)
+			}
+		}); a != 0 {
+			t.Errorf("%s: warm Reset allocates %v/run, want 0", tc.name, a)
+		}
+	}
+}
+
+func mustRaw(rows int, fm fault.Map) *Raw {
+	m, err := NewRaw(rows, fm)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func mustECC(rows int, fm fault.Map) *ECC {
+	m, err := NewECC(rows, fm, nil)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func mustPECC(rows int, fm fault.Map) *PECC {
+	m, err := NewPECC(rows, fm, nil)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

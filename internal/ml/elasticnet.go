@@ -52,6 +52,18 @@ func NewElasticNet() *ElasticNet {
 // Fit learns the coefficients from the training set. It standardizes X
 // internally and centers y; Predict applies the same transform.
 func (e *ElasticNet) Fit(x *mat.Dense, y []float64) error {
+	return e.FitIn(nil, x, y)
+}
+
+// FitIn is Fit backed by a reusable workspace: every training buffer
+// (standardized copy, residual, coefficients, column norms) comes from
+// ws, so a warm workspace makes repeated fits allocation-free. The
+// result is bit-identical to Fit. The fitted model borrows ws (see
+// Workspace); a nil ws allocates fresh buffers.
+func (e *ElasticNet) FitIn(ws *Workspace, x *mat.Dense, y []float64) error {
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	n, d := x.Dims()
 	if n != len(y) {
 		return fmt.Errorf("ml: X rows %d != y length %d", n, len(y))
@@ -59,38 +71,41 @@ func (e *ElasticNet) Fit(x *mat.Dense, y []float64) error {
 	if n < 2 {
 		return fmt.Errorf("ml: need at least 2 samples, have %d", n)
 	}
-	if e.MaxIter <= 0 {
-		e.MaxIter = 300
+	// Defaults stay local: Fit must not write hyperparameters back into
+	// the receiver (a config struct shared across trials would be
+	// rewritten mid-experiment).
+	maxIter := e.MaxIter
+	if maxIter <= 0 {
+		maxIter = 300
 	}
-	if e.Tol <= 0 {
-		e.Tol = 1e-6
+	tol := e.Tol
+	if tol <= 0 {
+		tol = 1e-6
 	}
-	if e.Standardize {
-		e.scaler = mat.FitStandardizer(x)
-	} else {
-		// Scikit-compatible fit_intercept behaviour: center the columns
-		// but keep their raw scale.
-		e.scaler = &mat.Standardizer{Mean: mat.ColMeans(x), Std: ones(d)}
-	}
-	z := e.scaler.Apply(x)
+	// Scikit-compatible fit_intercept behaviour when not standardizing:
+	// center the columns but keep their raw scale.
+	e.scaler = ws.fitScaler(x, e.Standardize)
+	ws.z = e.scaler.ApplyInto(mat.Reshape(ws.z, n, d), x)
+	z := ws.z
 
 	yMean := 0.0
 	for _, v := range y {
 		yMean += v
 	}
 	yMean /= float64(n)
-	r := make([]float64, n) // residual y - Zb (centered)
+	r := floats(&ws.resid, n) // residual y - Zb (centered)
 	for i := range r {
 		r[i] = y[i] - yMean
 	}
 
-	b := make([]float64, d)
+	b := floats(&ws.coef, d)
+	clear(b)
 	nf := float64(n)
 	l1 := e.Alpha * e.L1Ratio
 	l2 := e.Alpha * (1 - e.L1Ratio)
 
 	// Precompute column squared norms / n.
-	colSq := make([]float64, d)
+	colSq := floats(&ws.colSq, d)
 	for j := 0; j < d; j++ {
 		s := 0.0
 		for i := 0; i < n; i++ {
@@ -100,7 +115,7 @@ func (e *ElasticNet) Fit(x *mat.Dense, y []float64) error {
 		colSq[j] = s / nf
 	}
 
-	for it := 0; it < e.MaxIter; it++ {
+	for it := 0; it < maxIter; it++ {
 		maxMove := 0.0
 		for j := 0; j < d; j++ {
 			if colSq[j] == 0 {
@@ -124,7 +139,7 @@ func (e *ElasticNet) Fit(x *mat.Dense, y []float64) error {
 			}
 		}
 		e.iters = it + 1
-		if maxMove < e.Tol {
+		if maxMove < tol {
 			break
 		}
 	}
@@ -146,12 +161,25 @@ func softThreshold(v, t float64) float64 {
 
 // Predict returns the fitted values for x. Fit must have been called.
 func (e *ElasticNet) Predict(x *mat.Dense) []float64 {
+	return e.PredictIn(nil, x)
+}
+
+// PredictIn is Predict backed by a reusable workspace: the standardized
+// copy of x and the output vector come from ws, so a warm workspace
+// predicts allocation-free. The returned slice aliases ws and stays
+// valid until the next PredictIn/ScoreIn on it. A nil ws allocates
+// fresh buffers.
+func (e *ElasticNet) PredictIn(ws *Workspace, x *mat.Dense) []float64 {
 	if e.coef == nil {
 		panic("ml: ElasticNet.Predict before Fit")
 	}
-	z := e.scaler.Apply(x)
-	n, _ := x.Dims()
-	out := make([]float64, n)
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	n, d := x.Dims()
+	ws.zEval = e.scaler.ApplyInto(mat.Reshape(ws.zEval, n, d), x)
+	z := ws.zEval
+	out := floats(&ws.preds, n)
 	for i := 0; i < n; i++ {
 		out[i] = e.intercept + mat.Dot(z.RawRow(i), e.coef)
 	}
@@ -164,17 +192,15 @@ func (e *ElasticNet) Score(x *mat.Dense, y []float64) float64 {
 	return R2(y, e.Predict(x))
 }
 
+// ScoreIn is Score on workspace-backed prediction buffers (see
+// PredictIn); bit-identical to Score.
+func (e *ElasticNet) ScoreIn(ws *Workspace, x *mat.Dense, y []float64) float64 {
+	return R2(y, e.PredictIn(ws, x))
+}
+
 // Coef returns a copy of the fitted coefficients (in the fitting space:
 // standardized when Standardize is set, centered-raw otherwise).
 func (e *ElasticNet) Coef() []float64 { return append([]float64(nil), e.coef...) }
-
-func ones(n int) []float64 {
-	s := make([]float64, n)
-	for i := range s {
-		s[i] = 1
-	}
-	return s
-}
 
 // Iterations returns the number of coordinate-descent sweeps performed.
 func (e *ElasticNet) Iterations() int { return e.iters }

@@ -2,7 +2,6 @@ package ml
 
 import (
 	"fmt"
-	"sort"
 
 	"faultmem/internal/mat"
 )
@@ -31,7 +30,19 @@ func NewKNN(k int) *KNN { return &KNN{K: k} }
 
 // Fit stores the training set.
 func (m *KNN) Fit(x *mat.Dense, y []float64) error {
-	n, _ := x.Dims()
+	return m.FitIn(nil, x, y)
+}
+
+// FitIn is Fit backed by a reusable workspace: the cloned (or
+// standardized) training matrix and the label copy come from ws, so a
+// warm workspace makes repeated fits allocation-free. The result is
+// bit-identical to Fit. The fitted model borrows ws (see Workspace); a
+// nil ws allocates fresh buffers.
+func (m *KNN) FitIn(ws *Workspace, x *mat.Dense, y []float64) error {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	n, d := x.Dims()
 	if n != len(y) {
 		return fmt.Errorf("ml: X rows %d != y length %d", n, len(y))
 	}
@@ -41,30 +52,49 @@ func (m *KNN) Fit(x *mat.Dense, y []float64) error {
 	if n < m.K {
 		return fmt.Errorf("ml: %d training samples < K=%d", n, m.K)
 	}
+	ws.train = mat.Reshape(ws.train, n, d)
 	if m.Standardize {
-		m.scaler = mat.FitStandardizer(x)
-		m.train = m.scaler.Apply(x)
+		m.scaler = ws.fitScaler(x, true)
+		m.scaler.ApplyInto(ws.train, x)
 	} else {
 		m.scaler = nil
-		m.train = x.Clone()
+		ws.train.Copy(x)
 	}
-	m.labels = append([]float64(nil), y...)
+	m.train = ws.train
+	m.labels = floats(&ws.labels, len(y))
+	copy(m.labels, y)
 	return nil
 }
 
 // Predict classifies each row of x.
 func (m *KNN) Predict(x *mat.Dense) []float64 {
+	return m.PredictIn(nil, x)
+}
+
+// PredictIn is Predict backed by a reusable workspace (standardized
+// copy, neighbor buffer, output vector), so a warm workspace predicts
+// allocation-free. The returned slice aliases ws and stays valid until
+// the next PredictIn/ScoreIn on it. A nil ws allocates fresh buffers.
+func (m *KNN) PredictIn(ws *Workspace, x *mat.Dense) []float64 {
 	if m.train == nil {
 		panic("ml: KNN.Predict before Fit")
 	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	z := x
 	if m.scaler != nil {
-		z = m.scaler.Apply(x)
+		n, d := x.Dims()
+		ws.zEval = m.scaler.ApplyInto(mat.Reshape(ws.zEval, n, d), x)
+		z = ws.zEval
+	}
+	if cap(ws.neighbors) < m.K {
+		ws.neighbors = make([]neighbor, 0, m.K)
 	}
 	n, _ := z.Dims()
-	out := make([]float64, n)
+	out := floats(&ws.preds, n)
 	for i := 0; i < n; i++ {
-		out[i] = m.predictOne(z.RawRow(i))
+		out[i] = m.predictOne(z.RawRow(i), ws.neighbors[:0])
 	}
 	return out
 }
@@ -74,38 +104,43 @@ type neighbor struct {
 	label float64
 }
 
-func (m *KNN) predictOne(q []float64) float64 {
-	// Maintain the K best neighbors by insertion into a small sorted
-	// buffer — K is tiny compared to the training size.
-	best := make([]neighbor, 0, m.K)
+// predictOne classifies one query row. best is a zero-length scratch
+// buffer with capacity >= K; it holds the K running nearest neighbors
+// in ascending distance (equal distances keep earlier training rows
+// first, so the kept multiset — and therefore the vote — is fully
+// deterministic).
+func (m *KNN) predictOne(q []float64, best []neighbor) float64 {
 	nTrain, _ := m.train.Dims()
 	for t := 0; t < nTrain; t++ {
 		d := mat.SqDist(q, m.train.RawRow(t))
-		if len(best) < m.K {
-			best = append(best, neighbor{d, m.labels[t]})
-			if len(best) == m.K {
-				sort.Slice(best, func(a, b int) bool { return best[a].dist < best[b].dist })
+		if len(best) == m.K {
+			if d >= best[m.K-1].dist {
+				continue
 			}
-			continue
+			best = best[:m.K-1]
 		}
-		if d >= best[m.K-1].dist {
-			continue
+		// Insert after any equal distances (allocation-free linear scan;
+		// K is tiny compared to the training size).
+		pos := len(best)
+		for pos > 0 && best[pos-1].dist > d {
+			pos--
 		}
-		pos := sort.Search(m.K, func(i int) bool { return best[i].dist > d })
-		copy(best[pos+1:], best[pos:m.K-1])
+		best = append(best, neighbor{})
+		copy(best[pos+1:], best[pos:len(best)-1])
 		best[pos] = neighbor{d, m.labels[t]}
 	}
-	if len(best) < m.K {
-		sort.Slice(best, func(a, b int) bool { return best[a].dist < best[b].dist })
-	}
-	votes := make(map[float64]int, m.K)
-	for _, nb := range best {
-		votes[nb.label]++
-	}
+	// Majority vote, ties broken toward the smallest label: count each
+	// kept label in place instead of building a map.
 	bestLabel, bestVotes := 0.0, -1
-	for label, v := range votes {
-		if v > bestVotes || (v == bestVotes && label < bestLabel) {
-			bestLabel, bestVotes = label, v
+	for i := range best {
+		v := 0
+		for j := range best {
+			if best[j].label == best[i].label {
+				v++
+			}
+		}
+		if v > bestVotes || (v == bestVotes && best[i].label < bestLabel) {
+			bestLabel, bestVotes = best[i].label, v
 		}
 	}
 	return bestLabel
@@ -115,4 +150,10 @@ func (m *KNN) predictOne(q []float64) float64 {
 // quality metric of the KNN row in Table 1.
 func (m *KNN) Score(x *mat.Dense, y []float64) float64 {
 	return Accuracy(y, m.Predict(x))
+}
+
+// ScoreIn is Score on workspace-backed prediction buffers (see
+// PredictIn); bit-identical to Score.
+func (m *KNN) ScoreIn(ws *Workspace, x *mat.Dense, y []float64) float64 {
+	return Accuracy(y, m.PredictIn(ws, x))
 }

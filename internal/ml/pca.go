@@ -28,6 +28,18 @@ func NewPCA(k int) *PCA { return &PCA{Components: k} }
 
 // Fit learns the principal subspace from the training set.
 func (p *PCA) Fit(x *mat.Dense) error {
+	return p.FitIn(nil, x)
+}
+
+// FitIn is Fit backed by a reusable workspace: the standardized copy,
+// covariance matrix, Jacobi rotation scratch, and component matrix all
+// come from ws, so a warm workspace makes repeated fits
+// allocation-free. The result is bit-identical to Fit. The fitted model
+// borrows ws (see Workspace); a nil ws allocates fresh buffers.
+func (p *PCA) FitIn(ws *Workspace, x *mat.Dense) error {
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	n, d := x.Dims()
 	if n < 2 {
 		return fmt.Errorf("ml: PCA needs at least 2 samples, have %d", n)
@@ -35,15 +47,13 @@ func (p *PCA) Fit(x *mat.Dense) error {
 	if p.Components < 1 || p.Components > d {
 		return fmt.Errorf("ml: PCA components %d outside [1,%d]", p.Components, d)
 	}
-	if p.Standardize {
-		p.scaler = mat.FitStandardizer(x)
-	} else {
-		p.scaler = &mat.Standardizer{Mean: mat.ColMeans(x), Std: ones(d)}
-	}
-	z := p.scaler.Apply(x)
-	vals, vecs := mat.EigenSym(mat.Covariance(z))
+	p.scaler = ws.fitScaler(x, p.Standardize)
+	ws.z = p.scaler.ApplyInto(mat.Reshape(ws.z, n, d), x)
+	ws.cov = mat.CovarianceInto(mat.Reshape(ws.cov, d, d), ws.z, floats(&ws.covMu, d))
+	vals, vecs := mat.EigenSymIn(&ws.eig, ws.cov)
 	p.values = vals
-	p.vectors = mat.NewDense(d, p.Components)
+	ws.vectors = mat.Reshape(ws.vectors, d, p.Components)
+	p.vectors = ws.vectors
 	for j := 0; j < p.Components; j++ {
 		for i := 0; i < d; i++ {
 			p.vectors.Set(i, j, vecs.At(i, j))
@@ -82,15 +92,26 @@ func (p *PCA) ExplainedVarianceRatio() float64 {
 // Fig. 7b: a model trained on fault-corrupted data keeps less of the
 // clean test data's variance.
 func (p *PCA) ExplainedVarianceOn(x *mat.Dense) float64 {
+	return p.ExplainedVarianceOnIn(nil, x)
+}
+
+// ExplainedVarianceOnIn is ExplainedVarianceOn backed by a reusable
+// workspace (standardized evaluation copy and projection buffer);
+// bit-identical to ExplainedVarianceOn. A nil ws allocates fresh
+// buffers.
+func (p *PCA) ExplainedVarianceOnIn(ws *Workspace, x *mat.Dense) float64 {
 	if p.vectors == nil {
 		panic("ml: PCA.ExplainedVarianceOn before Fit")
 	}
-	z := p.scaler.Apply(x)
-	n, d := z.Dims()
-	_ = d
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	n, d := x.Dims()
+	ws.zEval = p.scaler.ApplyInto(mat.Reshape(ws.zEval, n, d), x)
+	z := ws.zEval
 	total, kept := 0.0, 0.0
 	k := p.Components
-	proj := make([]float64, k)
+	proj := floats(&ws.proj, k)
 	for i := 0; i < n; i++ {
 		row := z.RawRow(i)
 		for j := 0; j < k; j++ {

@@ -103,7 +103,10 @@ func (a *Array) SetFaults(m fault.Map) error {
 			return fmt.Errorf("sram: unknown fault kind %v", f.Kind)
 		}
 	}
-	a.faults = m.Clone()
+	// Keep a private copy of the map, reusing the previous copy's
+	// storage: repeated SetFaults on one array (the per-trial
+	// Monte-Carlo path) stay allocation-free once warm.
+	a.faults = append(a.faults[:0], m...)
 	for r := range a.data {
 		a.data[r] = a.storeEffect(r, a.data[r])
 	}
