@@ -1,0 +1,141 @@
+// Command benchreport converts `go test -bench` output on stdin into a
+// machine-readable JSON report, so CI can record the performance
+// trajectory of the hot kernels (the Fig. 7 trial microbenches) as an
+// artifact instead of a scrollback log.
+//
+//	go test -run '^$' -bench Fig7Trial -benchtime 1x -benchmem ./internal/exp/ |
+//	    go run ./cmd/benchreport -out BENCH_fig7.json
+//
+// Each benchmark line becomes one record with the benchmark name and
+// the standard metrics (ns/op, plus B/op and allocs/op when -benchmem
+// is on). Unknown units are carried through verbatim under their unit
+// name, so custom b.ReportMetric series survive too.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the file layout: the parsed records plus the context lines
+// (goos/goarch/pkg/cpu) go test prints before them.
+type Report struct {
+	Context map[string]string `json:"context,omitempty"`
+	Results []Record          `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	report := &Report{Context: map[string]string{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, ctx := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, ctx+": "); ok {
+				report.Context[ctx] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		rec, ok := parseBenchLine(line)
+		if ok {
+			report.Results = append(report.Results, rec)
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseBenchLine parses one result line of the standard form
+//
+//	BenchmarkName-8   5   1234 ns/op   56 B/op   7 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: strings.TrimSuffix(fields[0], cpuSuffix(fields[0])), Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			rec.NsPerOp = val
+		case "B/op":
+			v := val
+			rec.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			rec.AllocsPerOp = &v
+		default:
+			if rec.Extra == nil {
+				rec.Extra = map[string]float64{}
+			}
+			rec.Extra[unit] = val
+		}
+	}
+	return rec, true
+}
+
+// cpuSuffix returns the trailing "-N" GOMAXPROCS marker of a benchmark
+// name, or "" when absent, so records are stable across machines.
+func cpuSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}

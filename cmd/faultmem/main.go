@@ -184,12 +184,24 @@ func runFig7(args []string) error {
 	csvOut := fs.Bool("csv", false, "CSV output")
 	seed := fs.Int64("seed", 7, "random seed")
 	app := fs.String("app", "all", "benchmark: elasticnet|pca|knn|all")
-	trials := fs.Int("trials", 60, "Monte-Carlo trials per protection arm (paper: 500 per failure count; warm trials are allocation-free, so large budgets are CPU-bound only)")
+	trials := fs.Int("trials", 500, "Monte-Carlo trials per protection arm (the paper's 500-sample budget; see -quick)")
+	quick := fs.Bool("quick", false, fmt.Sprintf("quick tier: %d trials (the pre-paper-budget default) unless -trials is set explicitly", exp.QuickFig7Trials))
 	pcell := fs.Float64("pcell", 1e-3, "bit-cell failure probability")
-	paperPCA := fs.Bool("madelon500", false, "use the full 500-feature Madelon geometry (slow)")
+	paperPCA := fs.Bool("madelon500", false, "use the full 500-feature Madelon geometry (slower)")
 	workers := fs.Int("workers", 0, "trial worker goroutines (0 = all cores; results identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *quick {
+		trialsSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "trials" {
+				trialsSet = true
+			}
+		})
+		if !trialsSet {
+			*trials = exp.QuickFig7Trials
+		}
 	}
 	apps := []exp.App{exp.AppElasticnet, exp.AppPCA, exp.AppKNN}
 	if *app != "all" {

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"math"
+	mbits "math/bits"
 
 	"faultmem/internal/bits"
 )
@@ -47,7 +48,10 @@ func (c Config) Validate() error {
 }
 
 func (c Config) maxNFM() int {
-	return int(math.Round(math.Log2(float64(c.Width))))
+	// log2 of the power-of-two width, as integer arithmetic: Validate
+	// guards every per-word accessor (SegmentSize, ShiftForX, ...), so
+	// a transcendental log here would tax every shuffled memory access.
+	return mbits.Len(uint(c.Width)) - 1
 }
 
 // mustValidate panics on an invalid configuration (constructor guard).

@@ -243,3 +243,81 @@ func BenchmarkDecode39_32(b *testing.B) {
 		_, _, _ = code.Decode(cw ^ uint64(1)<<uint(i%39))
 	}
 }
+
+// bitwiseEncode is the original one-bit-at-a-time encoder, kept as the
+// oracle for the mask-based scatter/popcount implementation.
+func bitwiseEncode(c *Code, data uint64) uint64 {
+	data &= (uint64(1) << uint(c.k)) - 1
+	var cw uint64
+	for i, p := range c.dataPos {
+		cw |= ((data >> uint(i)) & 1) << uint(p)
+	}
+	for i, pp := range c.parityPos {
+		var par uint64
+		for p := 1; p <= c.k+c.r; p++ {
+			if p&(1<<uint(i)) != 0 {
+				par ^= (cw >> uint(p)) & 1
+			}
+		}
+		cw |= par << uint(pp)
+	}
+	var ones uint64
+	for b := 0; b < 64; b++ {
+		ones += (cw >> uint(b)) & 1
+	}
+	cw |= ones & 1
+	return cw
+}
+
+// bitwiseSyndrome is the original per-position syndrome walk.
+func bitwiseSyndrome(c *Code, cw uint64) int {
+	syn := 0
+	for p := 1; p <= c.k+c.r; p++ {
+		if (cw>>uint(p))&1 != 0 {
+			syn ^= p
+		}
+	}
+	return syn
+}
+
+// TestMaskEncodeMatchesBitwise pins the mask-based Encode, syndrome,
+// and ExtractData against the bit-loop originals for every supported
+// width on random data — the scatter runs and coverage masks must
+// reproduce the classic Hamming layout exactly.
+func TestMaskEncodeMatchesBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for k := 1; k <= 57; k++ {
+		code := MustNew(k)
+		for trial := 0; trial < 50; trial++ {
+			v := rng.Uint64()
+			got := code.Encode(v)
+			want := bitwiseEncode(code, v)
+			if got != want {
+				t.Fatalf("k=%d Encode(%#x) = %#x, want %#x", k, v, got, want)
+			}
+			if ext := code.ExtractData(got); ext != v&((uint64(1)<<uint(k))-1) {
+				t.Fatalf("k=%d ExtractData(%#x) = %#x", k, got, ext)
+			}
+			// Corrupt up to 2 random bits; syndrome must match the walk.
+			cw := got
+			for f := 0; f < trial%3; f++ {
+				cw ^= 1 << uint(rng.Intn(code.n))
+			}
+			syn := 0
+			for i, mask := range code.covMasks {
+				syn |= (popcount(cw&mask) & 1) << uint(i)
+			}
+			if want := bitwiseSyndrome(code, cw); syn != want {
+				t.Fatalf("k=%d syndrome of %#x = %d, want %d", k, cw, syn, want)
+			}
+		}
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}

@@ -203,6 +203,28 @@ func BenchmarkFig7TrialElasticnet(b *testing.B) { benchFig7Trial(b, AppElasticne
 func BenchmarkFig7TrialPCA(b *testing.B)        { benchFig7Trial(b, AppPCA, true) }
 func BenchmarkFig7TrialKNN(b *testing.B)        { benchFig7Trial(b, AppKNN, true) }
 
+// BenchmarkFig7TrialPCAPaper runs the warm PCA trial at the paper's
+// full 500-feature Madelon geometry — the workload whose O(d^3) Jacobi
+// sweeps motivated the top-k subspace eigensolver.
+func BenchmarkFig7TrialPCAPaper(b *testing.B) {
+	p := DefaultFig7Params(AppPCA)
+	p.MadelonPaperSize = true
+	w, err := p.prepare()
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedBase := stats.DeriveSeed(p.Seed, 1000)
+	runner := newFig7TrialRunner(p, w)
+	var buf []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf, err = runner.runTrial(seedBase, i, buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFig7TrialElasticnetFresh(b *testing.B) { benchFig7Trial(b, AppElasticnet, false) }
 func BenchmarkFig7TrialPCAFresh(b *testing.B)        { benchFig7Trial(b, AppPCA, false) }
 func BenchmarkFig7TrialKNNFresh(b *testing.B)        { benchFig7Trial(b, AppKNN, false) }

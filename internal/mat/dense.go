@@ -145,13 +145,40 @@ func Reshape(m *Dense, r, c int) *Dense {
 
 // T returns the transpose as a new matrix.
 func (m *Dense) T() *Dense {
-	t := NewDense(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+	return TransposeInto(NewDense(m.cols, m.rows), m)
+}
+
+// TransposeInto writes the transpose of m into dst (which must be
+// cols x rows) and returns dst. dst must not alias m. The walk is
+// tiled: a naive transpose strides one full row length between
+// consecutive writes, missing cache on every store once the matrix
+// outgrows L1; the 32x32 tiles keep both the read and write footprints
+// inside a few KB regardless of matrix size.
+func TransposeInto(dst, m *Dense) *Dense {
+	if dst.rows != m.cols || dst.cols != m.rows {
+		panic(fmt.Sprintf("mat: TransposeInto destination %dx%d, want %dx%d",
+			dst.rows, dst.cols, m.cols, m.rows))
+	}
+	const tile = 32
+	for ii := 0; ii < m.rows; ii += tile {
+		iMax := ii + tile
+		if iMax > m.rows {
+			iMax = m.rows
+		}
+		for jj := 0; jj < m.cols; jj += tile {
+			jMax := jj + tile
+			if jMax > m.cols {
+				jMax = m.cols
+			}
+			for i := ii; i < iMax; i++ {
+				row := m.data[i*m.cols : (i+1)*m.cols]
+				for j := jj; j < jMax; j++ {
+					dst.data[j*dst.cols+i] = row[j]
+				}
+			}
 		}
 	}
-	return t
+	return dst
 }
 
 // Mul returns a*b. It panics on dimension mismatch.
@@ -172,20 +199,50 @@ func MulInto(dst, a, b *Dense) *Dense {
 	}
 	out := dst
 	clear(out.data)
+	bc := b.cols
 	for i := 0; i < a.rows; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k, av := range arow {
-			if av == 0 {
+		// Process the summation index in blocks of 4: one pass over orow
+		// per four contributions instead of four, with the four products
+		// combined pairwise so the adds form a short tree instead of a
+		// serial dependency chain (the chain's add latency, not flop
+		// throughput, bounds the naive loop). Blocks containing a zero
+		// multiplier fall back to the per-k loop so exact zeros still
+		// skip their row of b (0 * Inf must not inject NaN).
+		k := 0
+		for ; k+4 <= len(arow); k += 4 {
+			av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			if av0 == 0 || av1 == 0 || av2 == 0 || av3 == 0 {
+				mulIntoTail(orow, arow[k:k+4], b.data[k*bc:], bc)
 				continue
 			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			b0 := b.data[k*bc : k*bc+bc][:len(orow)]
+			b1 := b.data[(k+1)*bc : (k+1)*bc+bc][:len(orow)]
+			b2 := b.data[(k+2)*bc : (k+2)*bc+bc][:len(orow)]
+			b3 := b.data[(k+3)*bc : (k+3)*bc+bc][:len(orow)]
+			for j := range orow {
+				orow[j] += (av0*b0[j] + av1*b1[j]) + (av2*b2[j] + av3*b3[j])
 			}
 		}
+		mulIntoTail(orow, arow[k:], b.data[k*bc:], bc)
 	}
 	return out
+}
+
+// mulIntoTail accumulates avs[k]*b.row(k) into orow one k at a time —
+// the scalar remainder of MulInto's blocked loop. bdata starts at the
+// row matching avs[0].
+func mulIntoTail(orow, avs, bdata []float64, bc int) {
+	for k, av := range avs {
+		if av == 0 {
+			continue
+		}
+		brow := bdata[k*bc : k*bc+bc]
+		for j, bv := range brow {
+			orow[j] += av * bv
+		}
+	}
 }
 
 // MulVec returns a*x as a new vector.
@@ -231,6 +288,42 @@ func SqDist(x, y []float64) float64 {
 		s += d * d
 	}
 	return s
+}
+
+// SqDistBounded is SqDist with early abandonment: it accumulates the
+// squared distance in the same term order as SqDist but gives up as
+// soon as the partial sum reaches bound (squared terms only grow the
+// sum, so the full distance is guaranteed to be >= bound too). It
+// returns (exact distance, true) when the distance is strictly below
+// bound, and (a partial sum, false) otherwise. The checks run every
+// few terms, so a completed accumulation is bit-identical to SqDist —
+// this is what lets KNN prune candidates without changing any kept
+// neighbor distance (its blocked scan inlines the same contract four
+// rows at a time; the scalar remainder path calls this directly).
+func SqDistBounded(x, y []float64, bound float64) (float64, bool) {
+	if len(x) != len(y) {
+		panic("mat: SqDistBounded length mismatch")
+	}
+	const block = 8
+	s := 0.0
+	i := 0
+	for ; i+block <= len(x); i += block {
+		for j := i; j < i+block; j++ {
+			d := x[j] - y[j]
+			s += d * d
+		}
+		if s >= bound {
+			return s, false
+		}
+	}
+	for ; i < len(x); i++ {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	if s >= bound {
+		return s, false
+	}
+	return s, true
 }
 
 // ColMeans returns the per-column means of m.
@@ -356,15 +449,38 @@ func CovarianceInto(dst *Dense, m *Dense, mu []float64) *Dense {
 	ColMeansInto(mu, m)
 	c := dst
 	clear(c.data)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		for a := 0; a < m.cols; a++ {
+	d := m.cols
+	// Accumulate the upper triangle four rows at a time: each C element
+	// is loaded and stored once per four rank-1 updates instead of once
+	// per row, and the four products combine pairwise so the adds form
+	// a short tree instead of a serial dependency chain. Roughly halves
+	// the wall time of the O(n*d^2) pass at the Fig. 7 PCA geometry.
+	i := 0
+	for ; i+4 <= m.rows; i += 4 {
+		r0 := m.data[i*d : (i+1)*d]
+		r1 := m.data[(i+1)*d : (i+2)*d]
+		r2 := m.data[(i+2)*d : (i+3)*d]
+		r3 := m.data[(i+3)*d : (i+4)*d]
+		for a := 0; a < d; a++ {
+			ma := mu[a]
+			da0, da1, da2, da3 := r0[a]-ma, r1[a]-ma, r2[a]-ma, r3[a]-ma
+			crow := c.data[a*d : (a+1)*d]
+			for b := a; b < d; b++ {
+				mb := mu[b]
+				crow[b] += (da0*(r0[b]-mb) + da1*(r1[b]-mb)) +
+					(da2*(r2[b]-mb) + da3*(r3[b]-mb))
+			}
+		}
+	}
+	for ; i < m.rows; i++ {
+		row := m.data[i*d : (i+1)*d]
+		for a := 0; a < d; a++ {
 			da := row[a] - mu[a]
 			if da == 0 {
 				continue
 			}
-			crow := c.data[a*c.cols : (a+1)*c.cols]
-			for b := a; b < m.cols; b++ {
+			crow := c.data[a*d : (a+1)*d]
+			for b := a; b < d; b++ {
 				crow[b] += da * (row[b] - mu[b])
 			}
 		}

@@ -5,14 +5,25 @@ import (
 	"math"
 )
 
-// EigenScratch holds the working storage of EigenSymIn — the rotated
-// matrix copy, the accumulated rotation matrix, and the eigenvalue
-// sorting buffers — so repeated decompositions of same-sized matrices
-// reuse one allocation set. The zero value is ready to use.
+// EigenScratch holds the working storage of EigenSymIn and
+// EigenSymTopKIn — the rotated matrix copy, the accumulated rotation
+// matrix, the eigenvalue sorting buffers, and the subspace-iteration
+// blocks — so repeated decompositions of same-sized matrices reuse one
+// allocation set. The zero value is ready to use.
 type EigenScratch struct {
 	w, v, vecs     *Dense
 	values, sorted []float64
 	idx            []int
+
+	// EigenSymTopKIn: transposed basis / image / rotated blocks (p x d,
+	// rows are basis vectors so every hot loop is contiguous), the small
+	// projected matrix and its transposed rotation, the Ritz value
+	// history, and the returned top-k outputs.
+	qt, yt, xt  *Dense
+	small, smt  *Dense
+	ritz, ritzP []float64
+	topVals     []float64
+	topVecs     *Dense
 }
 
 // EigenSym computes the full eigendecomposition of a symmetric matrix
@@ -35,20 +46,7 @@ func EigenSymIn(s *EigenScratch, a *Dense) (values []float64, vectors *Dense) {
 	if s == nil {
 		s = &EigenScratch{}
 	}
-	n, c := a.Dims()
-	if n != c {
-		panic(fmt.Sprintf("mat: EigenSym of non-square %dx%d", n, c))
-	}
-	const symTol = 1e-8
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := math.Abs(a.At(i, j) - a.At(j, i))
-			scale := math.Max(math.Abs(a.At(i, j)), math.Abs(a.At(j, i)))
-			if d > symTol*math.Max(scale, 1) {
-				panic(fmt.Sprintf("mat: EigenSym input not symmetric at (%d,%d)", i, j))
-			}
-		}
-	}
+	n := checkSquareSym(a)
 
 	s.w = Reshape(s.w, n, n)
 	s.w.Copy(a)
@@ -63,8 +61,9 @@ func EigenSymIn(s *EigenScratch, a *Dense) (values []float64, vectors *Dense) {
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := 0.0
 		for i := 0; i < n; i++ {
+			row := w.data[i*n : (i+1)*n]
 			for j := i + 1; j < n; j++ {
-				off += w.At(i, j) * w.At(i, j)
+				off += row[j] * row[j]
 			}
 		}
 		if off < 1e-22*frobSq(w) || off == 0 {
@@ -72,16 +71,16 @@ func EigenSymIn(s *EigenScratch, a *Dense) (values []float64, vectors *Dense) {
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
-				apq := w.At(p, q)
+				apq := w.data[p*n+q]
 				if apq == 0 {
 					continue
 				}
-				app := w.At(p, p)
-				aqq := w.At(q, q)
+				app := w.data[p*n+p]
+				aqq := w.data[q*n+q]
 				// Skip rotations that no longer change the matrix.
 				if math.Abs(apq) < 1e-16*(math.Abs(app)+math.Abs(aqq)+1e-300) {
-					w.Set(p, q, 0)
-					w.Set(q, p, 0)
+					w.data[p*n+q] = 0
+					w.data[q*n+p] = 0
 					continue
 				}
 				theta := (aqq - app) / (2 * apq)
@@ -131,6 +130,26 @@ func EigenSymIn(s *EigenScratch, a *Dense) (values []float64, vectors *Dense) {
 	return sorted, vecs
 }
 
+// checkSquareSym validates that a is square and numerically symmetric,
+// returning its order.
+func checkSquareSym(a *Dense) int {
+	n, c := a.Dims()
+	if n != c {
+		panic(fmt.Sprintf("mat: EigenSym of non-square %dx%d", n, c))
+	}
+	const symTol = 1e-8
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Abs(a.At(i, j) - a.At(j, i))
+			scale := math.Max(math.Abs(a.At(i, j)), math.Abs(a.At(j, i)))
+			if d > symTol*math.Max(scale, 1) {
+				panic(fmt.Sprintf("mat: EigenSym input not symmetric at (%d,%d)", i, j))
+			}
+		}
+	}
+	return n
+}
+
 // eigenBefore orders eigenpair a before b: larger eigenvalue first,
 // original position first among exact ties.
 func eigenBefore(vals []float64, a, b int) bool {
@@ -155,26 +174,35 @@ func growInts(s []int, n int) []int {
 }
 
 // rotate applies the Jacobi rotation J(p,q,theta) to w (two-sided) and
-// accumulates it into the eigenvector matrix v (one-sided).
+// accumulates it into the eigenvector matrix v (one-sided). It indexes
+// the backing storage directly — the arithmetic is identical to the
+// At/Set formulation, element for element, but skips the bounds checks
+// that dominated the profile at the paper's 500-feature geometry.
 func rotate(w, v *Dense, p, q int, c, s float64) {
-	n, _ := w.Dims()
+	n := w.rows
+	wd := w.data
 	for i := 0; i < n; i++ {
-		wip := w.At(i, p)
-		wiq := w.At(i, q)
-		w.Set(i, p, c*wip-s*wiq)
-		w.Set(i, q, s*wip+c*wiq)
+		base := i * n
+		wip := wd[base+p]
+		wiq := wd[base+q]
+		wd[base+p] = c*wip - s*wiq
+		wd[base+q] = s*wip + c*wiq
 	}
+	wp := wd[p*n : p*n+n]
+	wq := wd[q*n : q*n+n]
 	for j := 0; j < n; j++ {
-		wpj := w.At(p, j)
-		wqj := w.At(q, j)
-		w.Set(p, j, c*wpj-s*wqj)
-		w.Set(q, j, s*wpj+c*wqj)
+		wpj := wp[j]
+		wqj := wq[j]
+		wp[j] = c*wpj - s*wqj
+		wq[j] = s*wpj + c*wqj
 	}
+	vd := v.data
 	for i := 0; i < n; i++ {
-		vip := v.At(i, p)
-		viq := v.At(i, q)
-		v.Set(i, p, c*vip-s*viq)
-		v.Set(i, q, s*vip+c*viq)
+		base := i * n
+		vip := vd[base+p]
+		viq := vd[base+q]
+		vd[base+p] = c*vip - s*viq
+		vd[base+q] = s*vip + c*viq
 	}
 }
 
@@ -187,4 +215,225 @@ func frobSq(m *Dense) float64 {
 		return 1
 	}
 	return s
+}
+
+// EigenSymTopK computes the k largest eigenvalues (descending) and the
+// matching orthonormal eigenvectors (columns of the returned d x k
+// matrix) of a symmetric positive-semidefinite matrix — the exact need
+// of PCA, which retains a small number of components of a covariance
+// matrix. The input is not modified.
+//
+// The solver is deterministic blocked subspace (orthogonal) iteration:
+// a fixed pseudo-random start basis of p = k + 8 vectors is
+// repeatedly multiplied by A and re-orthonormalized, with a
+// Rayleigh–Ritz projection through the existing Jacobi solver on the
+// small p x p problem each step. Total cost is O(d^2 * p * iters)
+// instead of Jacobi's O(d^3) per sweep; at the paper's Madelon
+// geometry (d=500, k=10) that is a >10x reduction in eigensolver work.
+//
+// Correctness nets: when p is a large fraction of d the subspace
+// iteration saves nothing, so the call falls back to the full Jacobi
+// decomposition and returns its leading k pairs; and if the converged
+// Ritz spectrum reveals a significantly negative eigenvalue (the input
+// was not PSD, so "largest magnitude" — what power iteration finds —
+// and "largest value" can disagree), the call also falls back to the
+// full decomposition, keeping the by-value contract for every
+// symmetric input.
+func EigenSymTopK(a *Dense, k int) (values []float64, vectors *Dense) {
+	return EigenSymTopKIn(nil, a, k)
+}
+
+// EigenSymTopKIn is EigenSymTopK backed by reusable scratch storage:
+// the returned slice and matrix alias s and stay valid only until the
+// next EigenSym*In call on the same scratch. A warm scratch makes
+// repeated decompositions of same-sized problems allocation-free. A
+// nil s allocates fresh storage.
+func EigenSymTopKIn(s *EigenScratch, a *Dense, k int) (values []float64, vectors *Dense) {
+	if s == nil {
+		s = &EigenScratch{}
+	}
+	d := checkSquareSym(a)
+	if k < 1 || k > d {
+		panic(fmt.Sprintf("mat: EigenSymTopK k=%d outside [1,%d]", k, d))
+	}
+	p := k + 8
+	if p > d {
+		p = d
+	}
+	// When the working block approaches the full dimension the subspace
+	// iteration costs as much as the direct decomposition; use the
+	// oracle.
+	if 4*p >= 3*d {
+		return eigenTopKViaFull(s, a, k)
+	}
+
+	s.qt = Reshape(s.qt, p, d)
+	s.yt = Reshape(s.yt, p, d)
+	s.xt = Reshape(s.xt, p, d)
+	s.small = Reshape(s.small, p, p)
+	s.smt = Reshape(s.smt, p, p)
+	s.ritz = growFloats(s.ritz, p)
+	s.ritzP = growFloats(s.ritzP, p)
+
+	// Deterministic start basis: a fixed SplitMix64 stream, so the
+	// decomposition — and everything downstream (Fig. 7 quality
+	// samples) — is identical run to run and worker count to worker
+	// count.
+	rngState := uint64(0x9e3779b97f4a7c15)
+	for i := range s.qt.data {
+		s.qt.data[i] = splitmixUniform(&rngState)
+	}
+	orthonormalizeRows(s.qt, &rngState)
+
+	// Stop when two consecutive projections agree on every retained
+	// Ritz value to 1e-10 of the dominant eigenvalue. Eigenvalues
+	// converge at twice the subspace rate, so this leaves an order of
+	// magnitude of margin under the 1e-9 oracle-agreement contract the
+	// tests pin, without paying for the last few bulk-spectrum
+	// iterations that only polish digits below it.
+	const (
+		maxIters = 300
+		relTol   = 1e-10
+	)
+	converged := false
+	for it := 0; it < maxIters; it++ {
+		// Plain power step first: Qt <- orth(Qt * A). Two multiplications
+		// per Rayleigh–Ritz projection double the spectral contraction
+		// each projection pays for, halving the count of small-Jacobi
+		// solves and basis rotations — which the profile shows cost as
+		// much as the large multiply itself.
+		MulInto(s.yt, s.qt, a)
+		s.qt, s.yt = s.yt, s.qt
+		orthonormalizeRows(s.qt, &rngState)
+		// Projected power step: Yt = Qt * A  (rows of Yt are A*q_j,
+		// since A is symmetric).
+		MulInto(s.yt, s.qt, a)
+		// Projected problem S = Q^T A Q = Qt * Yt^T, built as an exactly
+		// symmetric matrix (compute the upper triangle, mirror it).
+		for i := 0; i < p; i++ {
+			qi := s.qt.RawRow(i)
+			for j := i; j < p; j++ {
+				v := dotUnchecked(qi, s.yt.RawRow(j))
+				s.small.data[i*p+j] = v
+				s.small.data[j*p+i] = v
+			}
+		}
+		ritzVals, u := EigenSymIn(s, s.small)
+		copy(s.ritz, ritzVals[:p])
+		if it > 0 {
+			scale := math.Max(math.Abs(s.ritz[0]), 1e-300)
+			maxMove := 0.0
+			for i := 0; i < k; i++ {
+				if m := math.Abs(s.ritz[i] - s.ritzP[i]); m > maxMove {
+					maxMove = m
+				}
+			}
+			converged = maxMove <= relTol*scale
+		}
+		TransposeInto(s.smt, u)
+		if converged || it == maxIters-1 {
+			// Ritz vectors: X = Q*U, i.e. Xt = U^T * Qt. Q orthonormal and
+			// U orthogonal make X orthonormal directly.
+			MulInto(s.xt, s.smt, s.qt)
+			break
+		}
+		// Next basis: orthonormalize A*X = Y*U, i.e. U^T * Yt — the
+		// power step applied to the current Ritz vectors.
+		MulInto(s.xt, s.smt, s.yt)
+		s.qt, s.xt = s.xt, s.qt
+		orthonormalizeRows(s.qt, &rngState)
+		copy(s.ritzP, s.ritz)
+	}
+
+	// Indefinite-input net: a markedly negative Ritz value means the
+	// dominant subspace contains large-magnitude negative eigenvalues,
+	// so the by-value top k may live outside it. Defer to the oracle.
+	negScale := math.Max(math.Abs(s.ritz[0]), 1)
+	if s.ritz[p-1] < -1e-8*negScale {
+		return eigenTopKViaFull(s, a, k)
+	}
+
+	s.topVals = growFloats(s.topVals, k)
+	copy(s.topVals, s.ritz[:k])
+	s.topVecs = Reshape(s.topVecs, d, k)
+	for j := 0; j < k; j++ {
+		xj := s.xt.RawRow(j)
+		for i := 0; i < d; i++ {
+			s.topVecs.data[i*k+j] = xj[i]
+		}
+	}
+	return s.topVals, s.topVecs
+}
+
+// eigenTopKViaFull answers EigenSymTopKIn through the full Jacobi
+// decomposition (the oracle path).
+func eigenTopKViaFull(s *EigenScratch, a *Dense, k int) ([]float64, *Dense) {
+	d, _ := a.Dims()
+	vals, vecs := EigenSymIn(s, a)
+	s.topVals = growFloats(s.topVals, k)
+	copy(s.topVals, vals[:k])
+	s.topVecs = Reshape(s.topVecs, d, k)
+	for i := 0; i < d; i++ {
+		vrow := vecs.data[i*d : i*d+d]
+		copy(s.topVecs.data[i*k:i*k+k], vrow[:k])
+	}
+	return s.topVals, s.topVecs
+}
+
+// orthonormalizeRows makes the rows of qt orthonormal with modified
+// Gram–Schmidt. A row that collapses to (numerical) zero after
+// projection — a rank-deficient basis, e.g. iterating on a low-rank
+// matrix — is replaced by a fresh direction from the deterministic
+// stream and re-projected, so the basis always has full row rank.
+func orthonormalizeRows(qt *Dense, rngState *uint64) {
+	p, d := qt.Dims()
+	for i := 0; i < p; i++ {
+		ri := qt.RawRow(i)
+		for {
+			pre := math.Sqrt(dotUnchecked(ri, ri))
+			for j := 0; j < i; j++ {
+				rj := qt.RawRow(j)
+				proj := dotUnchecked(ri, rj)
+				if proj == 0 {
+					continue
+				}
+				for l := range ri {
+					ri[l] -= proj * rj[l]
+				}
+			}
+			norm := math.Sqrt(dotUnchecked(ri, ri))
+			if norm > 1e-14*pre && norm > 0 {
+				inv := 1 / norm
+				for l := range ri {
+					ri[l] *= inv
+				}
+				break
+			}
+			for l := 0; l < d; l++ {
+				ri[l] = splitmixUniform(rngState)
+			}
+		}
+	}
+}
+
+// dotUnchecked is Dot without the length check, for the solver's inner
+// loops (operands come from same-width scratch rows by construction).
+func dotUnchecked(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// splitmixUniform draws the next value in [-0.5, 0.5) from a SplitMix64
+// stream — the deterministic, dependency-free generator behind the
+// subspace iteration's start basis.
+func splitmixUniform(state *uint64) float64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) - 0.5
 }

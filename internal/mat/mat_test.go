@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -547,4 +548,358 @@ func mustPanicMat(t *testing.T, f func()) {
 		}
 	}()
 	f()
+}
+
+// randCovariance builds the covariance of an n x d random matrix — a
+// PSD input shaped like the PCA workloads.
+func randCovariance(rng *rand.Rand, n, d int) *Dense {
+	return Covariance(randMat(rng, n, d))
+}
+
+// structuredCovariance builds a covariance with a strong low-rank
+// structure over a noise bulk — the Madelon-like spectrum the Fig. 7b
+// PCA benchmark decomposes (a few dominant directions, then a
+// Marchenko-Pastur-style bulk).
+func structuredCovariance(rng *rand.Rand, n, d, strong int) *Dense {
+	x := NewDense(n, d)
+	for i := 0; i < n; i++ {
+		base := make([]float64, strong)
+		for j := range base {
+			base[j] = rng.NormFloat64() * float64(4+j)
+			x.Set(i, j, base[j])
+		}
+		for j := strong; j < d; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return Covariance(x)
+}
+
+// eigenVecAgree reports whether two unit eigenvector columns span the
+// same direction (sign-canonical comparison) within tol.
+func eigenVecAgree(a *Dense, aCol int, b *Dense, bCol int, tol float64) bool {
+	n, _ := a.Dims()
+	// Canonical sign: make the largest-magnitude entry of each positive.
+	sa, sb := 1.0, 1.0
+	maxA, maxB := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		if v := math.Abs(a.At(i, aCol)); v > maxA {
+			maxA = v
+			sa = math.Copysign(1, a.At(i, aCol))
+		}
+		if v := math.Abs(b.At(i, bCol)); v > maxB {
+			maxB = v
+			sb = math.Copysign(1, b.At(i, bCol))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(sa*a.At(i, aCol)-sb*b.At(i, bCol)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEigenSymTopKMatchesFull pins the subspace solver against the
+// full Jacobi oracle: on PSD covariance inputs the top-k eigenvalues
+// must agree within 1e-9 (relative to the dominant eigenvalue), the
+// retained explained-variance mass must match to the same precision,
+// and the eigenvectors must satisfy the eigen equation.
+func TestEigenSymTopKMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cases := []struct {
+		cov *Dense
+		k   int
+	}{
+		{randCovariance(rng, 300, 60), 5},
+		{randCovariance(rng, 500, 100), 10},
+		{structuredCovariance(rng, 400, 80, 8), 6},
+		{structuredCovariance(rng, 800, 120, 10), 10},
+		{randCovariance(rng, 100, 12), 3},  // small d: internal Jacobi fallback
+		{randCovariance(rng, 100, 20), 15}, // k close to d: fallback
+	}
+	for ci, c := range cases {
+		d, _ := c.cov.Dims()
+		wantVals, _ := EigenSym(c.cov)
+		gotVals, gotVecs := EigenSymTopK(c.cov, c.k)
+		if len(gotVals) != c.k {
+			t.Fatalf("case %d: %d values, want %d", ci, len(gotVals), c.k)
+		}
+		if r, cc := gotVecs.Dims(); r != d || cc != c.k {
+			t.Fatalf("case %d: vectors %dx%d, want %dx%d", ci, r, cc, d, c.k)
+		}
+		scale := math.Max(math.Abs(wantVals[0]), 1)
+		topWant, topGot := 0.0, 0.0
+		for i := 0; i < c.k; i++ {
+			if math.Abs(gotVals[i]-wantVals[i]) > 1e-9*scale {
+				t.Errorf("case %d: eigenvalue %d = %.15g, oracle %.15g", ci, i, gotVals[i], wantVals[i])
+			}
+			topWant += wantVals[i]
+			topGot += gotVals[i]
+		}
+		if math.Abs(topGot-topWant) > 1e-9*scale*float64(c.k) {
+			t.Errorf("case %d: explained mass %.15g, oracle %.15g", ci, topGot, topWant)
+		}
+		// Eigen equation residual per pair. Ritz values converge at
+		// twice the subspace rate, so vectors inside a near-degenerate
+		// bulk carry ~sqrt(valueTol) of rotation — hence the looser
+		// vector tolerance next to the 1e-9 eigenvalue check above.
+		for j := 0; j < c.k; j++ {
+			col := gotVecs.Col(j)
+			av := MulVec(c.cov, col)
+			for i := range av {
+				if math.Abs(av[i]-gotVals[j]*col[i]) > 1e-5*scale {
+					t.Fatalf("case %d: eigenpair %d residual %g at %d", ci, j,
+						av[i]-gotVals[j]*col[i], i)
+				}
+			}
+		}
+		// Orthonormal columns.
+		for a := 0; a < c.k; a++ {
+			for b := a; b < c.k; b++ {
+				dot := Dot(gotVecs.Col(a), gotVecs.Col(b))
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					t.Fatalf("case %d: V^T V (%d,%d) = %g", ci, a, b, dot)
+				}
+			}
+		}
+	}
+}
+
+// TestEigenSymTopKSignCanonicalVectors compares eigenvectors
+// coordinate-wise against the Jacobi oracle on a well-separated
+// spectrum, where each eigendirection is unique up to sign.
+func TestEigenSymTopKSignCanonicalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cov := structuredCovariance(rng, 1000, 90, 6)
+	k := 4 // well inside the strong, separated part of the spectrum
+	_, wantVecs := EigenSym(cov)
+	_, gotVecs := EigenSymTopK(cov, k)
+	for j := 0; j < k; j++ {
+		if !eigenVecAgree(gotVecs, j, wantVecs, j, 1e-6) {
+			t.Errorf("eigenvector %d differs from oracle beyond sign", j)
+		}
+	}
+}
+
+// TestEigenSymTopKDeterministic pins run-to-run determinism: the fixed
+// start basis must make repeated decompositions bit-identical, scratch
+// reuse or not.
+func TestEigenSymTopKDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cov := structuredCovariance(rng, 300, 70, 5)
+	vals1, vecs1 := EigenSymTopK(cov, 8)
+	var scratch EigenScratch
+	EigenSymTopKIn(&scratch, randCovariance(rng, 100, 30), 8) // dirty the scratch
+	vals2, vecs2 := EigenSymTopKIn(&scratch, cov, 8)
+	for i := range vals1 {
+		if math.Float64bits(vals1[i]) != math.Float64bits(vals2[i]) {
+			t.Fatalf("eigenvalue %d differs across runs: %.17g vs %.17g", i, vals1[i], vals2[i])
+		}
+	}
+	if !sameDense(vecs1, vecs2) {
+		t.Fatal("eigenvectors differ across runs")
+	}
+}
+
+// TestEigenSymTopKIndefiniteFallsBack pins the by-value contract on a
+// non-PSD input whose dominant-magnitude eigenvalue is negative: the
+// solver must detect the negative Ritz spectrum and defer to the full
+// decomposition instead of returning magnitude-ordered pairs.
+func TestEigenSymTopKIndefiniteFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	d := 40
+	// A = Q D Q^T with D = diag(-50, spread of small positives).
+	q := randMat(rng, d, d)
+	var s EigenScratch
+	_, basis := EigenSymIn(&s, Covariance(q)) // any orthonormal basis
+	a := NewDense(d, d)
+	for i := 0; i < d; i++ {
+		lam := 1.0 + float64(d-i)*0.1
+		if i == d-1 {
+			lam = -50
+		}
+		for r := 0; r < d; r++ {
+			for c := 0; c < d; c++ {
+				a.Set(r, c, a.At(r, c)+lam*basis.At(r, i)*basis.At(c, i))
+			}
+		}
+	}
+	// Symmetrize exactly against accumulated rounding.
+	for r := 0; r < d; r++ {
+		for c := r + 1; c < d; c++ {
+			v := (a.At(r, c) + a.At(c, r)) / 2
+			a.Set(r, c, v)
+			a.Set(c, r, v)
+		}
+	}
+	wantVals, _ := EigenSym(a)
+	gotVals, _ := EigenSymTopK(a, 3)
+	scale := math.Max(math.Abs(wantVals[0]), math.Abs(wantVals[len(wantVals)-1]))
+	for i := 0; i < 3; i++ {
+		if math.Abs(gotVals[i]-wantVals[i]) > 1e-9*scale {
+			t.Errorf("eigenvalue %d = %g, want by-value %g", i, gotVals[i], wantVals[i])
+		}
+	}
+	if gotVals[0] < 0 {
+		t.Errorf("top eigenvalue %g is the negative dominant-magnitude one", gotVals[0])
+	}
+}
+
+// TestEigenSymTopKZeroAllocWarm pins the scratch contract: a warm
+// scratch decomposes without touching the allocator.
+func TestEigenSymTopKZeroAllocWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	cov := randCovariance(rng, 300, 60)
+	var scratch EigenScratch
+	EigenSymTopKIn(&scratch, cov, 5) // warm up
+	if allocs := testing.AllocsPerRun(5, func() { EigenSymTopKIn(&scratch, cov, 5) }); allocs != 0 {
+		t.Errorf("warm EigenSymTopKIn allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestEigenSymTopKValidation covers the panic contracts.
+func TestEigenSymTopKValidation(t *testing.T) {
+	cov := Covariance(randMat(rand.New(rand.NewSource(1)), 10, 4))
+	mustPanicMat(t, func() { EigenSymTopK(cov, 0) })
+	mustPanicMat(t, func() { EigenSymTopK(cov, 5) })
+	mustPanicMat(t, func() { EigenSymTopK(NewDense(3, 4), 1) })
+	mustPanicMat(t, func() { EigenSymTopK(FromRows([][]float64{{1, 2}, {0, 1}}), 1) })
+}
+
+// TestTransposeInto pins the blocked transpose against the naive
+// element walk, across shapes that exercise full tiles, ragged edges,
+// and thin matrices.
+func TestTransposeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, dims := range [][2]int{{1, 1}, {3, 7}, {32, 32}, {33, 65}, {100, 23}, {5, 200}} {
+		m := randMat(rng, dims[0], dims[1])
+		got := TransposeInto(NewDense(dims[1], dims[0]), m)
+		for i := 0; i < dims[0]; i++ {
+			for j := 0; j < dims[1]; j++ {
+				if math.Float64bits(got.At(j, i)) != math.Float64bits(m.At(i, j)) {
+					t.Fatalf("%v: mismatch at (%d,%d)", dims, i, j)
+				}
+			}
+		}
+		if !sameDense(m.T(), got) {
+			t.Fatalf("%v: T() != TransposeInto", dims)
+		}
+	}
+	mustPanicMat(t, func() { TransposeInto(NewDense(2, 2), NewDense(2, 3)) })
+}
+
+// TestSqDistBounded pins the early-abandon contract: a completed
+// accumulation is bit-identical to SqDist, an abandoned one only
+// happens when the true distance is >= bound.
+func TestSqDistBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for _, n := range []int{1, 7, 8, 9, 16, 40, 100} {
+		for trial := 0; trial < 50; trial++ {
+			x := make([]float64, n)
+			y := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+				y[i] = rng.NormFloat64()
+			}
+			full := SqDist(x, y)
+			bound := full * (0.25 + 1.5*rng.Float64())
+			got, ok := SqDistBounded(x, y, bound)
+			if ok {
+				if math.Float64bits(got) != math.Float64bits(full) {
+					t.Fatalf("n=%d: completed distance %g != SqDist %g", n, got, full)
+				}
+				if got >= bound {
+					t.Fatalf("n=%d: ok with %g >= bound %g", n, got, bound)
+				}
+			} else {
+				if full < bound {
+					t.Fatalf("n=%d: abandoned but full %g < bound %g", n, full, bound)
+				}
+			}
+		}
+	}
+	if d, ok := SqDistBounded([]float64{1, 2}, []float64{1, 2}, math.Inf(1)); !ok || d != 0 {
+		t.Errorf("identical vectors: %g, %v", d, ok)
+	}
+	mustPanicMat(t, func() { SqDistBounded([]float64{1}, []float64{1, 2}, 1) })
+}
+
+// benchEigenCov builds the bench covariance once per geometry.
+func benchEigenCov(b *testing.B, d int) *Dense {
+	b.Helper()
+	rng := rand.New(rand.NewSource(71))
+	return structuredCovariance(rng, 1600, d, 10)
+}
+
+// BenchmarkEigenTopK measures the top-10 subspace solver at the
+// default (d=100) and paper (d=500) Madelon geometries; the Full
+// variants run the Jacobi oracle on the same inputs — the before/after
+// pair of the README's kernel table.
+func BenchmarkEigenTopK(b *testing.B) {
+	for _, d := range []int{100, 500} {
+		cov := benchEigenCov(b, d)
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) {
+			var scratch EigenScratch
+			EigenSymTopKIn(&scratch, cov, 10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				EigenSymTopKIn(&scratch, cov, 10)
+			}
+		})
+	}
+}
+
+// BenchmarkEigenFull is the full-decomposition baseline at the default
+// Madelon geometry (the d=500 Jacobi takes ~10s per op; bench the
+// paper geometry explicitly via -bench EigenFull500 when needed).
+func BenchmarkEigenFull(b *testing.B) {
+	cov := benchEigenCov(b, 100)
+	var scratch EigenScratch
+	EigenSymIn(&scratch, cov)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EigenSymIn(&scratch, cov)
+	}
+}
+
+// BenchmarkEigenFull500 is the paper-geometry Jacobi baseline; slow,
+// excluded from -bench=. smokes by its name.
+func BenchmarkEigenFull500(b *testing.B) {
+	cov := benchEigenCov(b, 500)
+	var scratch EigenScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EigenSymIn(&scratch, cov)
+	}
+}
+
+// BenchmarkTranspose compares the naive column-stride walk against the
+// tiled TransposeInto at a cache-hostile size.
+func BenchmarkTranspose(b *testing.B) {
+	rng := rand.New(rand.NewSource(73))
+	m := randMat(rng, 1000, 1000)
+	dst := NewDense(1000, 1000)
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			TransposeInto(dst, m)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < 1000; r++ {
+				row := m.RawRow(r)
+				for c := 0; c < 1000; c++ {
+					dst.data[c*1000+r] = row[c]
+				}
+			}
+		}
+	})
 }

@@ -45,17 +45,7 @@ func (c Codec) Encode(f float64) uint32 {
 	if c.Frac < 0 || c.Frac > 31 {
 		panic(fmt.Sprintf("memstore: fractional bits %d outside [0,31]", c.Frac))
 	}
-	if math.IsNaN(f) {
-		return 0
-	}
-	v := math.Round(f * c.scale())
-	if v > math.MaxInt32 {
-		v = math.MaxInt32
-	}
-	if v < math.MinInt32 {
-		v = math.MinInt32
-	}
-	return uint32(int32(v))
+	return encodeScaled(f, c.scale())
 }
 
 // Decode converts a fixed-point word back to float64.
@@ -74,24 +64,46 @@ func (c Codec) RoundTripValues(m mem.Word32, vals []float64) []float64 {
 }
 
 // roundTripInPlace overwrites vals with its faulty read-back, page by
-// page, without allocating.
+// page, without allocating. The quantization scale is hoisted out of
+// the per-word loop (Encode/Decode recompute the Ldexp per call, which
+// the profile shows on every dataset round trip).
 func (c Codec) roundTripInPlace(m mem.Word32, vals []float64) {
 	words := m.Words()
 	if words == 0 {
 		panic("memstore: empty memory")
 	}
+	if c.Frac < 0 || c.Frac > 31 {
+		panic(fmt.Sprintf("memstore: fractional bits %d outside [0,31]", c.Frac))
+	}
+	scale := c.scale()
 	for start := 0; start < len(vals); start += words {
 		end := start + words
 		if end > len(vals) {
 			end = len(vals)
 		}
 		for i := start; i < end; i++ {
-			m.Write(i-start, c.Encode(vals[i]))
+			m.Write(i-start, encodeScaled(vals[i], scale))
 		}
 		for i := start; i < end; i++ {
-			vals[i] = c.Decode(m.Read(i - start))
+			vals[i] = float64(int32(m.Read(i-start))) / scale
 		}
 	}
+}
+
+// encodeScaled is Encode with the 2^Frac scale precomputed; identical
+// result word for word.
+func encodeScaled(f, scale float64) uint32 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	v := math.Round(f * scale)
+	if v > math.MaxInt32 {
+		v = math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		v = math.MinInt32
+	}
+	return uint32(int32(v))
 }
 
 // RoundTripMatrix round-trips a matrix (row-major) through the memory.
@@ -128,6 +140,12 @@ type Workspace struct {
 	flat []float64
 	x    *mat.Dense
 	y    []float64
+
+	// Cached quantized dataset (EncodeDatasetInto /
+	// RoundTripCachedInto): the clean words and the shape they encode.
+	words      []uint32
+	cachedRows int
+	cachedCols int
 }
 
 // RoundTripDatasetInto is RoundTripDataset on reusable buffers: the
@@ -163,6 +181,92 @@ func (c Codec) RoundTripDatasetInto(ws *Workspace, m mem.Word32, x *mat.Dense, y
 		ws.y = make([]float64, len(y))
 	}
 	yOut := ws.y[:len(y)]
+	copy(yOut, flat[rows*cols:])
+	ws.y = yOut
+	return ws.x, yOut
+}
+
+// EncodeDatasetInto quantizes (x, y) once into the workspace's word
+// cache. A Monte-Carlo loop that round-trips the same clean dataset
+// through many fault maps (the Fig. 7 engine: every arm of every
+// trial) pays the float-to-fixed-point conversion and the row
+// flattening once per shard instead of once per round trip; the
+// per-trial work left in RoundTripCachedInto is exactly the
+// fault-dependent part (memory writes, reads, decode).
+func (c Codec) EncodeDatasetInto(ws *Workspace, x *mat.Dense, y []float64) {
+	rows, cols := x.Dims()
+	if rows != len(y) {
+		panic("memstore: X/Y length mismatch")
+	}
+	if c.Frac < 0 || c.Frac > 31 {
+		panic(fmt.Sprintf("memstore: fractional bits %d outside [0,31]", c.Frac))
+	}
+	n := rows*cols + len(y)
+	if cap(ws.words) < n {
+		ws.words = make([]uint32, n)
+	}
+	words := ws.words[:n]
+	scale := c.scale()
+	for i := 0; i < rows; i++ {
+		row := x.RawRow(i)
+		for j, v := range row {
+			words[i*cols+j] = encodeScaled(v, scale)
+		}
+	}
+	for i, v := range y {
+		words[rows*cols+i] = encodeScaled(v, scale)
+	}
+	ws.words = words
+	ws.cachedRows, ws.cachedCols = rows, cols
+}
+
+// RoundTripCachedInto streams the cached words (EncodeDatasetInto)
+// through the memory page by page and returns the decoded dataset —
+// bit-identical to RoundTripDatasetInto on the same data and memory,
+// minus the re-quantization. The returned matrix and slice alias ws
+// with the same lifetime rules as RoundTripDatasetInto. It panics if
+// no dataset has been cached.
+func (c Codec) RoundTripCachedInto(ws *Workspace, m mem.Word32) (*mat.Dense, []float64) {
+	rows, cols := ws.cachedRows, ws.cachedCols
+	if rows == 0 {
+		panic("memstore: RoundTripCachedInto before EncodeDatasetInto")
+	}
+	pageWords := m.Words()
+	if pageWords == 0 {
+		panic("memstore: empty memory")
+	}
+	n := len(ws.words)
+	if cap(ws.flat) < n {
+		ws.flat = make([]float64, 0, n)
+	}
+	flat := ws.flat[:n]
+	ws.flat = flat
+	scale := c.scale()
+	for start := 0; start < n; start += pageWords {
+		end := start + pageWords
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			m.Write(i-start, ws.words[i])
+		}
+		for i := start; i < end; i++ {
+			flat[i] = float64(int32(m.Read(i-start))) / scale
+		}
+	}
+
+	if ws.x == nil {
+		ws.x = mat.NewDense(rows, cols)
+	} else if r, cc := ws.x.Dims(); r != rows || cc != cols {
+		ws.x = mat.NewDense(rows, cols)
+	}
+	for i := 0; i < rows; i++ {
+		ws.x.SetRow(i, flat[i*cols:(i+1)*cols])
+	}
+	if cap(ws.y) < rows {
+		ws.y = make([]float64, rows)
+	}
+	yOut := ws.y[:rows]
 	copy(yOut, flat[rows*cols:])
 	ws.y = yOut
 	return ws.x, yOut

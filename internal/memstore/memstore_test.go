@@ -2,6 +2,7 @@ package memstore
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -213,4 +214,61 @@ func TestRoundTripThroughECCIsClean(t *testing.T) {
 			t.Errorf("val %d corrupted through ECC: %g vs %g", i, got[i], want)
 		}
 	}
+}
+
+// TestRoundTripCachedMatchesDirect pins the cached-words path: one
+// EncodeDatasetInto followed by RoundTripCachedInto must reproduce
+// RoundTripDatasetInto bit for bit on the same memory — across
+// multiple round trips of one cache and datasets larger than the
+// memory (paged).
+func TestRoundTripCachedMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := DefaultCodec()
+	rows, cols := 113, 7
+	x := mat.NewDense(rows, cols)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			x.Set(i, j, rng.NormFloat64()*100)
+		}
+		y[i] = float64(rng.Intn(10))
+	}
+	memRows := 16 // far smaller than the dataset: exercises paging
+	fm := fault.GeneratePcell(rand.New(rand.NewSource(3)), memRows, 32, 0.01, fault.Flip)
+	for trip := 0; trip < 3; trip++ {
+		mDirect, err := mem.NewRaw(memRows, fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wsDirect Workspace
+		wantX, wantY := c.RoundTripDatasetInto(&wsDirect, mDirect, x, y)
+
+		mCached, err := mem.NewRaw(memRows, fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wsCached Workspace
+		c.EncodeDatasetInto(&wsCached, x, y)
+		gotX, gotY := c.RoundTripCachedInto(&wsCached, mCached)
+
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if math.Float64bits(gotX.At(i, j)) != math.Float64bits(wantX.At(i, j)) {
+					t.Fatalf("trip %d: X(%d,%d) %g != %g", trip, i, j, gotX.At(i, j), wantX.At(i, j))
+				}
+			}
+			if math.Float64bits(gotY[i]) != math.Float64bits(wantY[i]) {
+				t.Fatalf("trip %d: Y[%d] %g != %g", trip, i, gotY[i], wantY[i])
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("RoundTripCachedInto without a cached dataset did not panic")
+		}
+	}()
+	var empty Workspace
+	m2, _ := mem.NewRaw(memRows, fm)
+	c.RoundTripCachedInto(&empty, m2)
 }

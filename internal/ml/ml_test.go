@@ -212,8 +212,13 @@ func TestPCATransformShape(t *testing.T) {
 	if r != 100 || c != 4 {
 		t.Errorf("transform shape %dx%d", r, c)
 	}
-	if len(p.Eigenvalues()) != 20 {
-		t.Errorf("eigenvalue count %d", len(p.Eigenvalues()))
+	// Eigenvalues reports the retained top-k spectrum; the full
+	// eigenvalue sum survives as the covariance trace.
+	if len(p.Eigenvalues()) != 4 {
+		t.Errorf("eigenvalue count %d, want the 4 retained", len(p.Eigenvalues()))
+	}
+	if tv := p.TotalVariance(); tv <= 0 {
+		t.Errorf("total variance %g, want positive", tv)
 	}
 }
 

@@ -8,7 +8,11 @@ import (
 )
 
 // PCA is principal component analysis via the covariance matrix and the
-// Jacobi symmetric eigensolver.
+// top-k symmetric eigensolver (deterministic subspace iteration with a
+// Rayleigh–Ritz projection; mat.EigenSymTopK). Only the retained
+// Components eigenpairs are computed — the full Jacobi decomposition
+// remains the automatic fallback when Components is a large fraction of
+// the feature count.
 type PCA struct {
 	// Components is the number of principal components to retain.
 	Components int
@@ -17,9 +21,10 @@ type PCA struct {
 	// only centers the data, so the Fig. 7 experiments leave this false.
 	Standardize bool
 
-	scaler  *mat.Standardizer
-	vectors *mat.Dense // d x Components, orthonormal columns
-	values  []float64  // all d eigenvalues, descending
+	scaler   *mat.Standardizer
+	vectors  *mat.Dense // d x Components, orthonormal columns
+	values   []float64  // the Components retained eigenvalues, descending
+	totalVar float64    // trace of the covariance = sum of all eigenvalues
 }
 
 // NewPCA returns a model retaining k components on centered raw features
@@ -50,39 +55,45 @@ func (p *PCA) FitIn(ws *Workspace, x *mat.Dense) error {
 	p.scaler = ws.fitScaler(x, p.Standardize)
 	ws.z = p.scaler.ApplyInto(mat.Reshape(ws.z, n, d), x)
 	ws.cov = mat.CovarianceInto(mat.Reshape(ws.cov, d, d), ws.z, floats(&ws.covMu, d))
-	vals, vecs := mat.EigenSymIn(&ws.eig, ws.cov)
-	p.values = vals
-	ws.vectors = mat.Reshape(ws.vectors, d, p.Components)
-	p.vectors = ws.vectors
-	for j := 0; j < p.Components; j++ {
-		for i := 0; i < d; i++ {
-			p.vectors.Set(i, j, vecs.At(i, j))
-		}
+	// The total variance is the covariance trace — the full eigenvalue
+	// sum without the full spectrum, which is what lets the solver stop
+	// at the top Components pairs.
+	p.totalVar = 0
+	for i := 0; i < d; i++ {
+		p.totalVar += ws.cov.At(i, i)
 	}
+	vals, vecs := mat.EigenSymTopKIn(&ws.eig, ws.cov, p.Components)
+	p.values = vals
+	p.vectors = vecs
 	return nil
 }
 
 // ExplainedVarianceRatio returns the training-eigenvalue ratio: the sum
-// of the retained eigenvalues over the total (negative eigenvalues from
-// numerical noise clamp to zero).
+// of the retained eigenvalues (negative values from numerical noise
+// clamp to zero) over the covariance trace — the total variance, which
+// equals the full eigenvalue sum without needing the discarded part of
+// the spectrum.
 func (p *PCA) ExplainedVarianceRatio() float64 {
 	if p.values == nil {
 		panic("ml: PCA.ExplainedVarianceRatio before Fit")
 	}
-	top, total := 0.0, 0.0
+	top := 0.0
 	for i, v := range p.values {
-		if v < 0 {
-			v = 0
+		if i >= p.Components {
+			break
 		}
-		if i < p.Components {
+		if v > 0 {
 			top += v
 		}
-		total += v
 	}
-	if total == 0 {
+	if p.totalVar <= 0 {
 		return 0
 	}
-	return top / total
+	r := top / p.totalVar
+	if r > 1 {
+		r = 1
+	}
+	return r
 }
 
 // ExplainedVarianceOn measures how much of the variance of a held-out
@@ -111,21 +122,22 @@ func (p *PCA) ExplainedVarianceOnIn(ws *Workspace, x *mat.Dense) float64 {
 	z := ws.zEval
 	total, kept := 0.0, 0.0
 	k := p.Components
-	proj := floats(&ws.proj, k)
+	// Project against the transposed component matrix: each component
+	// becomes one contiguous row, so the per-sample projections are
+	// plain dot products instead of stride-k column walks.
+	ws.vecT = mat.TransposeInto(mat.Reshape(ws.vecT, k, d), p.vectors)
 	for i := 0; i < n; i++ {
 		row := z.RawRow(i)
 		for j := 0; j < k; j++ {
 			s := 0.0
+			vj := ws.vecT.RawRow(j)
 			for a, v := range row {
-				s += v * p.vectors.At(a, j)
+				s += v * vj[a]
 			}
-			proj[j] = s
+			kept += s * s
 		}
 		for _, v := range row {
 			total += v * v
-		}
-		for _, s := range proj {
-			kept += s * s
 		}
 	}
 	if total == 0 {
@@ -150,5 +162,16 @@ func (p *PCA) Transform(x *mat.Dense) *mat.Dense {
 	return mat.Mul(p.scaler.Apply(x), p.vectors)
 }
 
-// Eigenvalues returns a copy of all eigenvalues in descending order.
+// Eigenvalues returns a copy of the retained (top-Components)
+// eigenvalues in descending order. TotalVariance reports the full
+// eigenvalue sum.
 func (p *PCA) Eigenvalues() []float64 { return append([]float64(nil), p.values...) }
+
+// TotalVariance returns the trace of the training covariance matrix —
+// the sum of all eigenvalues, retained or not.
+func (p *PCA) TotalVariance() float64 {
+	if p.values == nil {
+		panic("ml: PCA.TotalVariance before Fit")
+	}
+	return p.totalVar
+}

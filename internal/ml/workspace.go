@@ -36,17 +36,23 @@ type Workspace struct {
 	// Prediction output buffer (PredictIn / ScoreIn).
 	preds []float64
 
-	// Elastic net: residual, coefficients, per-column squared norms.
+	// Elastic net: residual, coefficients, per-column squared norms,
+	// plus the Gram-mode buffers (scaled Gram matrix, feature/target
+	// correlations, running G*b products) and the active-coordinate
+	// list.
 	resid, coef, colSq []float64
+	gram               *mat.Dense
+	zty, gb            []float64
+	active             []int
 
-	// PCA: covariance matrix, its column-mean scratch, the Jacobi
-	// eigensolver scratch, the retained component matrix, and the
-	// per-row projection buffer of ExplainedVarianceOnIn.
-	cov     *mat.Dense
-	covMu   []float64
-	eig     mat.EigenScratch
-	vectors *mat.Dense
-	proj    []float64
+	// PCA: covariance matrix, its column-mean scratch, the eigensolver
+	// scratch (Jacobi + top-k subspace blocks; the retained component
+	// matrix lives inside it), and the transposed component matrix of
+	// ExplainedVarianceOnIn.
+	cov   *mat.Dense
+	covMu []float64
+	eig   mat.EigenScratch
+	vecT  *mat.Dense
 
 	// KNN: cloned training matrix, label copy, neighbor buffer.
 	train     *mat.Dense

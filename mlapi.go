@@ -33,9 +33,10 @@ func ActivityName(label int) string { return dataset.ActivityName(label) }
 // MLWorkspace is a reusable scratch bundle for the workspace-backed
 // model-fitting paths (FitIn / ScoreIn / PredictIn /
 // ExplainedVarianceOnIn on the three Table 1 models): it carries every
-// training buffer — standardized copies, elastic-net residuals and
-// coefficients, PCA covariance and Jacobi rotation scratch, KNN
-// neighbor buffers — so Monte-Carlo loops that retrain a model per
+// training buffer — standardized copies, elastic-net residuals,
+// coefficients and Gram matrix, PCA covariance and eigensolver scratch
+// (Jacobi + top-k subspace blocks), KNN neighbor buffers — so
+// Monte-Carlo loops that retrain a model per
 // trial reuse one allocation set per goroutine. The zero value is ready
 // to use; results are bit-identical to the plain Fit/Score paths. A
 // fitted model borrows the workspace and stays valid only until the
