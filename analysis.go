@@ -30,36 +30,49 @@ func ECCReadOverhead(rows int) hw.Overhead {
 	return hw.ECCOverhead(hw.Lib28nm(), hw.Macro28nm(rows), ecc.H39_32())
 }
 
-// MSE evaluates the paper's memory-local quality function (Eq. 6) for a
-// fault map over rows words under the named protection: the mean over
-// rows of the summed squared residual error magnitudes.
-//
-// scheme is one of "none", "ecc", "pecc", or "nfm1".."nfm5".
+// SchemeID identifies a protection scheme by its canonical name. It is
+// the typed currency every layer shares — the public analysis helpers,
+// both CLIs, and the experiment registry — replacing the stringly-typed
+// scheme switches that used to live in each of them.
+type SchemeID = yield.SchemeID
+
+// The protection schemes, in the Fig. 5 presentation order.
+const (
+	// SchemeNone is the unprotected baseline ("none").
+	SchemeNone = yield.SchemeNone
+	// SchemeNFM1..SchemeNFM5 are the bit-shuffling configurations
+	// ("nfm1".."nfm5").
+	SchemeNFM1 = yield.SchemeNFM1
+	SchemeNFM2 = yield.SchemeNFM2
+	SchemeNFM3 = yield.SchemeNFM3
+	SchemeNFM4 = yield.SchemeNFM4
+	SchemeNFM5 = yield.SchemeNFM5
+	// SchemePECC is H(22,16) priority ECC on the 16 MSBs ("pecc").
+	SchemePECC = yield.SchemePECC
+	// SchemeECC is full-word H(39,32) SECDED ("ecc").
+	SchemeECC = yield.SchemeECC
+)
+
+// ParseScheme maps a canonical scheme name ("none", "ecc", "pecc",
+// "nfm1".."nfm5") to its typed identifier.
+func ParseScheme(name string) (SchemeID, error) { return yield.ParseScheme(name) }
+
+// AllSchemes returns every protection scheme in presentation order.
+func AllSchemes() []SchemeID { return yield.AllSchemeIDs() }
+
+// MSEOf evaluates the paper's memory-local quality function (Eq. 6) for a
+// fault map over rows words under the identified protection: the mean
+// over rows of the summed squared residual error magnitudes.
+func MSEOf(faults FaultMap, rows int, scheme SchemeID) float64 {
+	return yield.MSEFromRowFaults(faults.ByRow(), rows, scheme.Scheme())
+}
+
+// MSE is MSEOf with the scheme given by its canonical name — a
+// convenience for CLI-adjacent callers that hold a string.
 func MSE(faults FaultMap, rows int, scheme string) (float64, error) {
-	s, err := yieldScheme(scheme)
+	id, err := yield.ParseScheme(scheme)
 	if err != nil {
 		return 0, err
 	}
-	return yield.MSEFromRowFaults(faults.ByRow(), rows, s), nil
-}
-
-func yieldScheme(name string) (yield.Scheme, error) {
-	switch name {
-	case "none":
-		return yield.Unprotected{}, nil
-	case "ecc":
-		return yield.FullECC{}, nil
-	case "pecc":
-		return yield.PriorityECC{}, nil
-	case "nfm1", "nfm2", "nfm3", "nfm4", "nfm5":
-		return yield.NewShuffled(int(name[3] - '0')), nil
-	default:
-		return nil, errUnknownScheme(name)
-	}
-}
-
-type errUnknownScheme string
-
-func (e errUnknownScheme) Error() string {
-	return "faultmem: unknown scheme " + string(e) + " (want none|ecc|pecc|nfm1..nfm5)"
+	return MSEOf(faults, rows, id), nil
 }

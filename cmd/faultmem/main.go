@@ -1,402 +1,231 @@
-// Command faultmem regenerates every table and figure of the paper's
-// evaluation:
+// Command faultmem regenerates the paper's evaluation through the public
+// experiment registry:
 //
-//	faultmem fig2    # SRAM cell failure probability vs VDD (Fig. 2)
-//	faultmem fig4    # error magnitude per faulty bit position (Fig. 4)
-//	faultmem fig5    # CDF of memory MSE per protection scheme (Fig. 5)
-//	faultmem fig6    # hardware overhead vs H(39,32) SECDED (Fig. 6)
-//	faultmem fig7    # application quality CDFs (Fig. 7a/b/c)
-//	faultmem table1  # applications and datasets summary (Table 1)
-//	faultmem all     # everything, in paper order
+//	faultmem list                   # registered experiments
+//	faultmem run fig5               # one experiment, text tables
+//	faultmem run all -quick -json   # everything, reduced budgets, JSON
+//	faultmem fig7                   # sugar for `faultmem run fig7`
 //
-// Common flags: -csv writes machine-readable output, -seed fixes the
-// random streams. Experiment-specific flags (sample budgets, Pcell,
-// memory size) are listed by each subcommand's -h.
+// Every experiment takes the same flags — -seed, -workers, -quick, -json,
+// -csv, -hist/-bins, -params (a JSON override of the experiment's default
+// parameter struct), -progress, and -timeout — and every run is
+// deterministic: results are bit-identical for any -workers value.
+// Ctrl-C (or -timeout) cancels the campaign mid-flight through the
+// engine's context plumbing.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
 
-	"faultmem/internal/exp"
-	"faultmem/internal/yield"
+	"faultmem"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(execute(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// execute is the testable entry point: it returns the process exit code
+// instead of calling os.Exit.
+func execute(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
+	cmd, rest := args[0], args[1:]
 	switch cmd {
-	case "fig2":
-		err = runFig2(args)
-	case "fig4":
-		err = runFig4(args)
-	case "fig5":
-		err = runFig5(args)
-	case "fig6":
-		err = runFig6(args)
-	case "fig7":
-		err = runFig7(args)
-	case "table1":
-		err = runTable1(args)
-	case "ablate":
-		err = runAblate(args)
-	case "redundancy":
-		err = runRedundancy(args)
-	case "energy":
-		err = runEnergy(args)
-	case "all":
-		err = runAll(args)
 	case "-h", "--help", "help":
-		usage()
+		usage(stdout)
+		return 0
+	case "list":
+		printExperiments(stdout)
+		return 0
+	case "run":
+		if len(rest) == 0 || strings.HasPrefix(rest[0], "-") {
+			fmt.Fprintf(stderr, "faultmem run: missing experiment name\n\n")
+			printExperiments(stderr)
+			return 2
+		}
+		return runExperiment(ctx, rest[0], rest[1:], stdout, stderr)
 	default:
-		fmt.Fprintf(os.Stderr, "faultmem: unknown command %q\n\n", cmd)
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "faultmem %s: %v\n", cmd, err)
-		os.Exit(1)
+		if strings.HasPrefix(cmd, "-") {
+			fmt.Fprintf(stderr, "faultmem: unknown flag %q before a command\n\n", cmd)
+			usage(stderr)
+			return 2
+		}
+		// Sugar: `faultmem fig5` runs the registered experiment directly.
+		return runExperiment(ctx, cmd, rest, stdout, stderr)
 	}
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `faultmem - regenerate the DAC'15 bit-shuffling paper's evaluation
+func usage(w io.Writer) {
+	fmt.Fprint(w, `faultmem - regenerate the DAC'15 bit-shuffling paper's evaluation
 
 usage: faultmem <command> [flags]
 
 commands:
-  fig2     SRAM cell failure probability under VDD scaling
-  fig4     error magnitude per faulty bit position (all nFM options)
-  fig5     CDF of memory MSE: none / nFM=1..5 / P-ECC (16KB, Pcell=5e-6)
-  fig6     read power / delay / area overhead relative to H(39,32) SECDED
-  fig7     application quality CDFs (-app elasticnet|pca|knn|all)
-  table1   evaluation applications and datasets
-  ablate     beyond-the-paper ablations (FM-LUT policy, LUT realization, soft errors)
-  redundancy spare-row/column economics under VDD scaling (Section 2's argument)
-  energy     min viable VDD and read energy per scheme (the paper's payoff)
-  all        run everything in paper order
+  run <name|all>  run one registered experiment (or all, in paper order)
+  list            list the experiment registry
+  <name>          shorthand for 'run <name>'
 
-run 'faultmem <command> -h' for the command's flags.
+run flags:
+  -json           emit the machine-readable Result JSON
+  -csv            emit CSV tables instead of aligned text
+  -seed N         override the experiment's base seed
+  -workers N      Monte-Carlo worker goroutines (0 = all cores; results
+                  are bit-identical for any value)
+  -quick          reduced smoke budgets
+  -hist MODE      CDF accumulator: auto|exact|hist
+  -bins N         log-histogram bin count (0 = default)
+  -params JSON    override the experiment's default params (JSON object
+                  merged over the defaults; not valid with 'all')
+  -progress       report shard completions on stderr
+  -timeout D      cancel the campaign after duration D (e.g. 90s)
+
 `)
+	printExperiments(w)
 }
 
-func render(t *exp.Table, csvOut bool) error {
-	var err error
-	if csvOut {
-		err = t.RenderCSV(os.Stdout, true)
-	} else {
-		err = t.Render(os.Stdout)
+func printExperiments(w io.Writer) {
+	fmt.Fprintln(w, "experiments:")
+	for _, name := range faultmem.Experiments() {
+		desc, _ := faultmem.DescribeExperiment(name)
+		fmt.Fprintf(w, "  %-18s %s\n", name, desc)
 	}
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintln(os.Stdout)
-	return err
 }
 
-func runFig2(args []string) error {
-	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
-	csvOut := fs.Bool("csv", false, "CSV output")
-	seed := fs.Int64("seed", 2, "random seed")
-	dirs := fs.Int("isdirs", 20000, "importance-sampling directions (0 disables the 6T cross-check)")
-	step := fs.Float64("step", 0.02, "VDD sweep step [V]")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	p := exp.DefaultFig2Params()
-	p.Seed = *seed
-	p.ISDirections = *dirs
-	p.Step = *step
-	return render(exp.Fig2Table(exp.Fig2(p)), *csvOut)
-}
-
-func runFig4(args []string) error {
-	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
-	csvOut := fs.Bool("csv", false, "CSV output")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	return render(exp.Fig4Table(exp.Fig4()), *csvOut)
-}
-
-func runFig5(args []string) error {
-	fs := flag.NewFlagSet("fig5", flag.ExitOnError)
-	csvOut := fs.Bool("csv", false, "CSV output")
-	seed := fs.Int64("seed", 1, "random seed")
-	trun := fs.Float64("trun", 1e6, "Monte-Carlo budget scale (paper: 1e7; hist mode keeps it O(1) in memory)")
-	pcell := fs.Float64("pcell", 5e-6, "bit-cell failure probability")
-	targets := fs.Bool("targets", true, "also print the MSE-at-yield-target table")
-	workers := fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = all cores; results identical for any value)")
-	hist := fs.String("hist", "auto", "CDF accumulator: auto|exact|hist (hist = O(1)-memory log histogram)")
-	bins := fs.Int("bins", 0, "log-histogram bin count (0 = default)")
-	maxPer := fs.Int("maxper", 20000, "sample cap per failure count (0 = uncapped, the paper's convention)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	mode, err := yield.ParseAccumMode(*hist)
-	if err != nil {
-		return err
-	}
-	p := exp.DefaultFig5Params()
-	p.CDF.Seed = *seed
-	p.CDF.Trun = *trun
-	p.CDF.Pcell = *pcell
-	p.CDF.Workers = *workers
-	p.CDF.Accum = mode
-	p.CDF.Bins = *bins
-	p.CDF.MaxPerCount = *maxPer
-	res := exp.Fig5(p)
-	if err := render(res.CDFTable(), *csvOut); err != nil {
-		return err
-	}
-	if *targets {
-		return render(res.YieldTable(), *csvOut)
-	}
-	return nil
-}
-
-func runFig6(args []string) error {
-	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
-	csvOut := fs.Bool("csv", false, "CSV output")
-	rows := fs.Int("rows", 4096, "macro depth in words (4096 = 16KB)")
-	abs := fs.Bool("abs", false, "also print the absolute overhead table")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	res := exp.Fig6(exp.Fig6Params{Rows: *rows})
-	if err := render(res.Fig6RelativeTable(), *csvOut); err != nil {
-		return err
-	}
-	if *abs {
-		return render(res.AbsoluteTable(), *csvOut)
-	}
-	return nil
-}
-
-func runFig7(args []string) error {
-	fs := flag.NewFlagSet("fig7", flag.ExitOnError)
-	csvOut := fs.Bool("csv", false, "CSV output")
-	seed := fs.Int64("seed", 7, "random seed")
-	app := fs.String("app", "all", "benchmark: elasticnet|pca|knn|all")
-	trials := fs.Int("trials", 500, "Monte-Carlo trials per protection arm (the paper's 500-sample budget; see -quick)")
-	quick := fs.Bool("quick", false, fmt.Sprintf("quick tier: %d trials (the pre-paper-budget default) unless -trials is set explicitly", exp.QuickFig7Trials))
-	pcell := fs.Float64("pcell", 1e-3, "bit-cell failure probability")
-	paperPCA := fs.Bool("madelon500", false, "use the full 500-feature Madelon geometry (slower)")
-	workers := fs.Int("workers", 0, "trial worker goroutines (0 = all cores; results identical for any value)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *quick {
-		trialsSet := false
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "trials" {
-				trialsSet = true
-			}
-		})
-		if !trialsSet {
-			*trials = exp.QuickFig7Trials
-		}
-	}
-	apps := []exp.App{exp.AppElasticnet, exp.AppPCA, exp.AppKNN}
-	if *app != "all" {
-		a, err := exp.ParseApp(*app)
-		if err != nil {
-			return err
-		}
-		apps = []exp.App{a}
-	}
-	for _, a := range apps {
-		p := exp.DefaultFig7Params(a)
-		p.Seed = *seed
-		p.Trials = *trials
-		p.Pcell = *pcell
-		p.MadelonPaperSize = *paperPCA
-		p.Workers = *workers
-		res, err := exp.Fig7(p)
-		if err != nil {
-			return err
-		}
-		if err := render(res.QualityCDFTable(), *csvOut); err != nil {
-			return err
-		}
-		if err := render(res.SummaryTable(), *csvOut); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func runTable1(args []string) error {
-	fs := flag.NewFlagSet("table1", flag.ExitOnError)
-	csvOut := fs.Bool("csv", false, "CSV output")
-	seed := fs.Int64("seed", 3, "random seed")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	rows, err := exp.Table1(*seed)
-	if err != nil {
-		return err
-	}
-	return render(exp.Table1Table(rows), *csvOut)
-}
-
-func runAblate(args []string) error {
-	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
-	csvOut := fs.Bool("csv", false, "CSV output")
-	seed := fs.Int64("seed", 5, "random seed")
-	trials := fs.Int("trials", 5000, "Monte-Carlo trials for the multi-fault policy study")
-	rows := fs.Int("rows", 1024, "macro depth for the transient study")
-	pcell := fs.Float64("pcell", 1e-4, "persistent fault probability for the transient study")
-	reads := fs.Int("reads", 8, "read passes per row in the transient study")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	if err := render(exp.AblationMultiFaultTable(exp.AblationMultiFault(*seed, *trials)), *csvOut); err != nil {
-		return err
-	}
-	if err := render(exp.AblationLUTTable(4096), *csvOut); err != nil {
-		return err
-	}
-	rates := []float64{0, 1e-5, 1e-4}
-	tr, err := exp.AblationTransient(*seed, *rows, *pcell, rates, *reads)
-	if err != nil {
-		return err
-	}
-	if err := render(exp.AblationTransientTable(tr, *pcell), *csvOut); err != nil {
-		return err
-	}
-	bp := exp.DefaultBISTCoverageParams()
-	bp.Seed = *seed
-	if err := render(exp.BISTCoverageTable(exp.BISTCoverage(bp), bp), *csvOut); err != nil {
-		return err
-	}
-	pp := exp.DefaultParetoParams()
-	pp.CDF.Seed = *seed
-	if err := render(exp.ParetoTable(exp.Pareto(pp), pp), *csvOut); err != nil {
-		return err
-	}
-	return render(exp.WidthTable(exp.WidthAblation(4096)), *csvOut)
-}
-
-func runRedundancy(args []string) error {
-	fs := flag.NewFlagSet("redundancy", flag.ExitOnError)
-	csvOut := fs.Bool("csv", false, "CSV output")
-	seed := fs.Int64("seed", 17, "random seed")
-	dies := fs.Int("dies", 300, "Monte-Carlo dies per operating point")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	p := exp.DefaultRedundancyParams()
-	p.Seed = *seed
-	p.Dies = *dies
-	return render(exp.RedundancyTable(exp.RedundancyStudy(p), p), *csvOut)
-}
-
-func runEnergy(args []string) error {
-	fs := flag.NewFlagSet("energy", flag.ExitOnError)
-	csvOut := fs.Bool("csv", false, "CSV output")
-	seed := fs.Int64("seed", 13, "random seed")
-	dies := fs.Int("dies", 400, "Monte-Carlo dies per (scheme, VDD) point")
-	target := fs.Float64("target", 1e6, "MSE quality target")
-	minYield := fs.Float64("minyield", 0.999, "required quality yield")
-	workers := fs.Int("workers", 0, "die worker goroutines (0 = all cores; results identical for any value)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	p := exp.DefaultEnergyParams()
-	p.Seed = *seed
-	p.Dies = *dies
-	p.MSETarget = *target
-	p.YieldTarget = *minYield
-	p.Workers = *workers
-	return render(exp.EnergyTable(exp.EnergyStudy(p), p), *csvOut)
-}
-
-func runAll(args []string) error {
-	fs := flag.NewFlagSet("all", flag.ExitOnError)
-	csvOut := fs.Bool("csv", false, "CSV output")
-	quick := fs.Bool("quick", false, "reduced sample budgets for a fast pass")
+func runExperiment(ctx context.Context, name string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faultmem run "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the Result JSON")
+	csvOut := fs.Bool("csv", false, "emit CSV tables")
+	seed := fs.Int64("seed", 0, "override the experiment's base seed")
 	workers := fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = all cores)")
+	quick := fs.Bool("quick", false, "reduced smoke budgets")
+	hist := fs.String("hist", "auto", "CDF accumulator: auto|exact|hist")
+	bins := fs.Int("bins", 0, "log-histogram bin count (0 = default)")
+	paramsJSON := fs.String("params", "", "JSON override of the experiment's default params")
+	progress := fs.Bool("progress", false, "report shard completions on stderr")
+	timeout := fs.Duration("timeout", 0, "cancel the campaign after this duration (0 = none)")
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	_ = csvOut
-
-	banner(os.Stdout, "Fig. 2")
-	p2 := exp.DefaultFig2Params()
-	if *quick {
-		p2.ISDirections = 4000
-	}
-	if err := render(exp.Fig2Table(exp.Fig2(p2)), *csvOut); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
 
-	banner(os.Stdout, "Fig. 4")
-	if err := render(exp.Fig4Table(exp.Fig4()), *csvOut); err != nil {
-		return err
+	if name != "all" {
+		if _, ok := faultmem.LookupExperiment(name); !ok {
+			fmt.Fprintf(stderr, "faultmem: unknown experiment %q\n\n", name)
+			printExperiments(stderr)
+			return 2
+		}
 	}
 
-	banner(os.Stdout, "Table 1")
-	t1, err := exp.Table1(3)
+	mode, err := faultmem.ParseAccumMode(*hist)
 	if err != nil {
-		return err
+		fmt.Fprintf(stderr, "faultmem: %v\n", err)
+		return 2
 	}
-	if err := render(exp.Table1Table(t1), *csvOut); err != nil {
-		return err
+	r := &faultmem.Runner{
+		Workers: *workers,
+		Accum:   mode,
+		Bins:    *bins,
+		Quick:   *quick,
 	}
-
-	banner(os.Stdout, "Fig. 5")
-	p5 := exp.DefaultFig5Params()
-	p5.CDF.Trun = 1e6
-	p5.CDF.Workers = *workers
-	if *quick {
-		p5.CDF.Trun = 2e4
-	}
-	res5 := exp.Fig5(p5)
-	if err := render(res5.CDFTable(), *csvOut); err != nil {
-		return err
-	}
-	if err := render(res5.YieldTable(), *csvOut); err != nil {
-		return err
-	}
-
-	banner(os.Stdout, "Fig. 6")
-	res6 := exp.Fig6(exp.DefaultFig6Params())
-	if err := render(res6.Fig6RelativeTable(), *csvOut); err != nil {
-		return err
-	}
-	if err := render(res6.AbsoluteTable(), *csvOut); err != nil {
-		return err
-	}
-
-	banner(os.Stdout, "Fig. 7")
-	for _, a := range []exp.App{exp.AppElasticnet, exp.AppPCA, exp.AppKNN} {
-		p7 := exp.DefaultFig7Params(a)
-		p7.Workers = *workers
-		if *quick {
-			p7.Trials = 15
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			r.Seed = seed
 		}
-		res7, err := exp.Fig7(p7)
-		if err != nil {
-			return err
+	})
+	if *paramsJSON != "" {
+		if name == "all" {
+			fmt.Fprintln(stderr, "faultmem: -params cannot apply to 'run all'")
+			return 2
 		}
-		if err := render(res7.QualityCDFTable(), *csvOut); err != nil {
-			return err
-		}
-		if err := render(res7.SummaryTable(), *csvOut); err != nil {
-			return err
+		r.Params = json.RawMessage(*paramsJSON)
+	}
+	if *progress {
+		r.Progress = func(p faultmem.ExperimentProgress) {
+			stage := p.Stage
+			if stage != "" {
+				stage = " " + stage
+			}
+			fmt.Fprintf(stderr, "\r%s%s %d/%d", p.Experiment, stage, p.Done, p.Total)
+			if p.Done == p.Total {
+				fmt.Fprintln(stderr)
+			}
 		}
 	}
-	return nil
-}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
-func banner(w io.Writer, s string) {
-	fmt.Fprintf(w, "############ %s ############\n\n", s)
+	var results []*faultmem.ExperimentResult
+	emit := func(res *faultmem.ExperimentResult) error {
+		if *jsonOut {
+			results = append(results, res)
+			return nil
+		}
+		if name == "all" {
+			fmt.Fprintf(stdout, "############ %s ############\n\n", res.Experiment)
+		}
+		var rerr error
+		if *csvOut {
+			rerr = res.RenderCSV(stdout, true)
+		} else {
+			rerr = res.Render(stdout)
+		}
+		if rerr != nil {
+			return rerr
+		}
+		_, rerr = fmt.Fprintln(stdout)
+		return rerr
+	}
+
+	if name == "all" {
+		err = faultmem.RunAllExperiments(ctx, r, emit)
+	} else {
+		var res *faultmem.ExperimentResult
+		if res, err = faultmem.RunExperiment(ctx, name, r); err == nil {
+			err = emit(res)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(stderr, "faultmem %s: cancelled: %v\n", name, err)
+		} else {
+			fmt.Fprintf(stderr, "faultmem %s: %v\n", name, err)
+		}
+		return 1
+	}
+	if *jsonOut {
+		var out []byte
+		var merr error
+		if name == "all" {
+			out, merr = json.MarshalIndent(results, "", "  ")
+		} else {
+			out, merr = results[0].JSON()
+		}
+		if merr != nil {
+			fmt.Fprintf(stderr, "faultmem %s: %v\n", name, merr)
+			return 1
+		}
+		if _, err := fmt.Fprintf(stdout, "%s\n", out); err != nil {
+			fmt.Fprintf(stderr, "faultmem %s: %v\n", name, err)
+			return 1
+		}
+	}
+	return 0
 }

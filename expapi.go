@@ -1,0 +1,97 @@
+package faultmem
+
+import (
+	"context"
+
+	"faultmem/internal/exp"
+	"faultmem/internal/yield"
+)
+
+// This file is the public face of the experiment layer: every campaign of
+// the paper's evaluation (Figs. 2-7, Table 1, and the beyond-the-paper
+// studies) behind one registry of named, context-aware, JSON-serializable
+// experiments. The registry names, the Runner's knobs, and the Result's
+// JSON encoding are the wire contract the multi-host sweep service builds
+// on; cmd/faultmem's `run` subcommand is a thin shell over exactly these
+// calls.
+
+// Experiment is one registered campaign: a name, a default parameter
+// struct, and a context-aware run. Uncancelled runs are bit-identical for
+// any worker count; cancelling or deadlining the context returns ctx.Err()
+// promptly without leaking goroutines.
+type Experiment = exp.Experiment
+
+// Runner carries the shared execution environment of an experiment run:
+// worker count, seed override, CDF accumulator policy, the quick-budget
+// tier, a progress callback fed by shard completions, and an optional
+// params override (the experiment's concrete params type or raw JSON
+// unmarshalled over its defaults). A nil *Runner means defaults.
+type Runner = exp.Runner
+
+// ExperimentResult is the uniform outcome of one experiment: effective
+// parameters plus rendered tables, serializable to JSON and renderable as
+// the classic text/CSV exhibits.
+type ExperimentResult = exp.Result
+
+// ExperimentTable is one titled exhibit grid of a result.
+type ExperimentTable = exp.Table
+
+// ExperimentProgress is one progress event: Done of Total units (engine
+// shards, or an experiment's coarser stages) have completed.
+type ExperimentProgress = exp.Progress
+
+// AccumMode selects the CDF accumulator of CDF-building experiments.
+type AccumMode = yield.AccumMode
+
+// The accumulator modes.
+const (
+	// AccumAuto retains exact observations at small budgets and switches
+	// to the O(1)-memory log histogram above ~1M planned samples.
+	AccumAuto = yield.AccumAuto
+	// AccumExact forces the exact observation store.
+	AccumExact = yield.AccumExact
+	// AccumHist forces the O(1)-memory log histogram.
+	AccumHist = yield.AccumHist
+)
+
+// ParseAccumMode maps a CLI name ("auto", "exact", "hist") to the
+// accumulator mode.
+func ParseAccumMode(s string) (AccumMode, error) { return yield.ParseAccumMode(s) }
+
+// Experiments returns the registered experiment names in presentation
+// (paper) order — the vocabulary of RunExperiment and `faultmem run`.
+func Experiments() []string { return exp.Experiments() }
+
+// DescribeExperiment returns the one-line description of a registered
+// experiment.
+func DescribeExperiment(name string) (string, bool) { return exp.Describe(name) }
+
+// LookupExperiment returns a registered experiment by name.
+func LookupExperiment(name string) (Experiment, bool) { return exp.Lookup(name) }
+
+// DefaultExperimentParams returns the default parameter struct of a
+// registered experiment — marshal it to JSON, tweak fields, and pass the
+// bytes back through Runner.Params to override a run.
+func DefaultExperimentParams(name string) (any, error) {
+	e, ok := exp.Lookup(name)
+	if !ok {
+		return nil, &exp.ErrUnknownExperiment{Name: name}
+	}
+	return e.DefaultParams(), nil
+}
+
+// RunExperiment executes one registered experiment by name under the
+// runner's environment. Unknown names return an error listing the full
+// registry. The context cancels or deadlines the campaign mid-flight;
+// uncancelled runs are bit-identical to the same experiment at the same
+// parameters for any worker count.
+func RunExperiment(ctx context.Context, name string, r *Runner) (*ExperimentResult, error) {
+	return exp.Run(ctx, name, r)
+}
+
+// RunAllExperiments executes every registered experiment in presentation
+// order, streaming each result to emit as it completes. The first error
+// (including a context cancellation) stops the sequence.
+func RunAllExperiments(ctx context.Context, r *Runner, emit func(*ExperimentResult) error) error {
+	return exp.RunAll(ctx, r, emit)
+}

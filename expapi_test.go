@@ -1,0 +1,135 @@
+package faultmem_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"faultmem"
+)
+
+func TestExperimentRegistryListing(t *testing.T) {
+	names := faultmem.Experiments()
+	if len(names) < 14 {
+		t.Fatalf("only %d experiments registered: %v", len(names), names)
+	}
+	for _, want := range []string{"fig2", "fig4", "fig5", "fig6", "fig7", "table1", "energy",
+		"redundancy", "pareto", "bistcov", "width", "ablate-multifault", "ablate-lut", "ablate-transient"} {
+		e, ok := faultmem.LookupExperiment(want)
+		if !ok {
+			t.Fatalf("experiment %q not registered", want)
+		}
+		if e.Name() != want {
+			t.Fatalf("experiment %q reports name %q", want, e.Name())
+		}
+		if e.DefaultParams() == nil {
+			t.Fatalf("experiment %q has nil default params", want)
+		}
+		if desc, ok := faultmem.DescribeExperiment(want); !ok || desc == "" {
+			t.Fatalf("experiment %q has no description", want)
+		}
+	}
+}
+
+// TestRunExperimentPublicAPI drives the facade end to end: default params
+// from the registry, a JSON params override, a progress callback, and a
+// deterministic JSON result.
+func TestRunExperimentPublicAPI(t *testing.T) {
+	def, err := faultmem.DefaultExperimentParams("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "Trun") {
+		t.Fatalf("fig5 default params JSON missing Trun: %s", raw)
+	}
+
+	var events int
+	r := &faultmem.Runner{
+		Params:   json.RawMessage(`{"CDF": {"Trun": 2000}}`),
+		Progress: func(p faultmem.ExperimentProgress) { events++ },
+	}
+	res, err := faultmem.RunExperiment(context.Background(), "fig5", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != "fig5" || len(res.Tables) != 2 {
+		t.Fatalf("unexpected result shape: %s with %d tables", res.Experiment, len(res.Tables))
+	}
+	if events == 0 {
+		t.Fatal("no progress events reached the public callback")
+	}
+	out, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"Trun": 2000`) {
+		t.Fatalf("result params do not reflect the JSON override:\n%s", out)
+	}
+
+	// Determinism through the public API: same runner, same bytes.
+	res2, err := faultmem.RunExperiment(context.Background(), "fig5", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := res2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(out2) {
+		t.Fatal("public API runs are not deterministic")
+	}
+}
+
+func TestRunExperimentUnknownName(t *testing.T) {
+	_, err := faultmem.RunExperiment(context.Background(), "nope", nil)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "fig5") {
+		t.Fatalf("error does not list the registry: %v", err)
+	}
+	if _, err := faultmem.DefaultExperimentParams("nope"); err == nil {
+		t.Fatal("DefaultExperimentParams accepted unknown name")
+	}
+}
+
+func TestRunExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := faultmem.RunExperiment(ctx, "fig5", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSchemeIDFacade(t *testing.T) {
+	ids := faultmem.AllSchemes()
+	if len(ids) != 8 {
+		t.Fatalf("%d schemes", len(ids))
+	}
+	id, err := faultmem.ParseScheme("nfm3")
+	if err != nil || id != faultmem.SchemeNFM3 {
+		t.Fatalf("ParseScheme(nfm3) = %v, %v", id, err)
+	}
+	if id.String() != "nfm3" || id.NFM() != 3 {
+		t.Fatalf("round trip: %q nfm=%d", id.String(), id.NFM())
+	}
+	if _, err := faultmem.ParseScheme("bogus"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+
+	// MSEOf agrees with the string-keyed MSE.
+	faults := faultmem.GenerateFaultCount(7, 4096, 40)
+	byName, err := faultmem.MSE(faults, 4096, "nfm5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := faultmem.MSEOf(faults, 4096, faultmem.SchemeNFM5); got != byName {
+		t.Fatalf("MSEOf %g != MSE %g", got, byName)
+	}
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -31,15 +32,39 @@ type AblationMultiFaultRow struct {
 	PaperPenalty float64 // MeanMSEPaper / MeanMSEBest
 }
 
+// MultiFaultParams configures the FM-LUT multi-fault policy study.
+type MultiFaultParams struct {
+	// Seed drives the per-(nFM, k) RNG streams.
+	Seed int64
+	// Trials is the Monte-Carlo row count per (nFM, faults-per-row) point.
+	Trials int
+}
+
+// DefaultMultiFaultParams matches the CLI's historical defaults.
+func DefaultMultiFaultParams() MultiFaultParams { return MultiFaultParams{Seed: 5, Trials: 5000} }
+
 // AblationMultiFault runs the policy comparison: for each nFM and
 // faults-per-row count, Monte-Carlo rows with k distinct faulty columns
 // are scored under both policies. Every (nFM, k) point is one shard of
 // the mc engine — its own deterministic RNG stream, evaluated in
 // parallel, assembled in sweep order.
 func AblationMultiFault(seed int64, trials int) []AblationMultiFaultRow {
-	if trials < 1 {
+	rows, err := AblationMultiFaultEnv(mc.Env{}, MultiFaultParams{Seed: seed, Trials: trials})
+	if err != nil {
+		// Unreachable: the zero Env's background context never cancels.
+		panic(err)
+	}
+	return rows
+}
+
+// AblationMultiFaultEnv is AblationMultiFault under an execution
+// environment: identical rows when the context stays live, ctx.Err()
+// when cancelled mid-study.
+func AblationMultiFaultEnv(env mc.Env, p MultiFaultParams) ([]AblationMultiFaultRow, error) {
+	if p.Trials < 1 {
 		panic("exp: non-positive trial count")
 	}
+	trials := p.Trials
 	type combo struct{ nfm, k int }
 	var combos []combo
 	for nfm := 1; nfm <= 5; nfm++ {
@@ -47,7 +72,7 @@ func AblationMultiFault(seed int64, trials int) []AblationMultiFaultRow {
 			combos = append(combos, combo{nfm, k})
 		}
 	}
-	return mc.Run(0, len(combos), seed, func(i int, rng *rand.Rand) AblationMultiFaultRow {
+	return mc.RunEnv(env, 0, len(combos), p.Seed, func(i int, rng *rand.Rand) AblationMultiFaultRow {
 		c := combos[i]
 		cfg := core.Config{Width: 32, NFM: c.nfm}
 		sumBest, sumPaper := 0.0, 0.0
@@ -141,6 +166,35 @@ type AblationTransientRow struct {
 // strike), while SECDED corrects any single error per word regardless of
 // origin — the boundary of the paper's approach.
 func AblationTransient(seed int64, rows int, pcell float64, rates []float64, readsPerCell int) ([]AblationTransientRow, error) {
+	return AblationTransientEnv(mc.Env{}, TransientParams{
+		Seed: seed, Rows: rows, Pcell: pcell, Rates: rates, Reads: readsPerCell,
+	})
+}
+
+// TransientParams configures the soft-error boundary study.
+type TransientParams struct {
+	// Seed drives the persistent fault map and the per-point streams.
+	Seed int64
+	// Rows is the macro depth.
+	Rows int
+	// Pcell is the persistent fault probability.
+	Pcell float64
+	// Rates are the per-read transient flip rates swept (0 = none).
+	Rates []float64
+	// Reads is the number of read passes per row.
+	Reads int
+}
+
+// DefaultTransientParams matches the CLI's historical defaults.
+func DefaultTransientParams() TransientParams {
+	return TransientParams{Seed: 5, Rows: 1024, Pcell: 1e-4, Rates: []float64{0, 1e-5, 1e-4}, Reads: 8}
+}
+
+// AblationTransientEnv is AblationTransient under an execution
+// environment: identical rows when the context stays live, ctx.Err()
+// when cancelled mid-study.
+func AblationTransientEnv(env mc.Env, p TransientParams) ([]AblationTransientRow, error) {
+	seed, rows, pcell, rates, readsPerCell := p.Seed, p.Rows, p.Pcell, p.Rates, p.Reads
 	if rows < 1 || readsPerCell < 1 {
 		return nil, fmt.Errorf("exp: bad transient ablation params")
 	}
@@ -154,7 +208,7 @@ func AblationTransient(seed int64, rows int, pcell float64, rates []float64, rea
 		row AblationTransientRow
 		err error
 	}
-	outs := mc.Run(0, len(arms)*len(rates), stats.DeriveSeed(seed, 1000),
+	outs, runErr := mc.RunEnv(env, 0, len(arms)*len(rates), stats.DeriveSeed(seed, 1000),
 		func(i int, rng *rand.Rand) pointOut {
 			arm, rate := arms[i/len(rates)], rates[i%len(rates)]
 			m, err := arm.Build(rows, persistent)
@@ -184,6 +238,9 @@ func AblationTransient(seed int64, rows int, pcell float64, rates []float64, rea
 				MeanMSE:       sum / float64(rows*readsPerCell),
 			}}
 		})
+	if runErr != nil {
+		return nil, runErr
+	}
 	out := make([]AblationTransientRow, 0, len(outs))
 	for _, o := range outs {
 		if o.err != nil {
@@ -239,4 +296,75 @@ func AblationTransientTable(rows []AblationTransientRow, pcell float64) *Table {
 			fmt.Sprintf("%.4g", r.MeanMSE))
 	}
 	return t
+}
+
+// LUTParams configures the FM-LUT realization trade-off exhibit.
+type LUTParams struct {
+	// Rows is the macro depth the LUT serves.
+	Rows int
+}
+
+// DefaultLUTParams uses the 16 KB macro.
+func DefaultLUTParams() LUTParams { return LUTParams{Rows: 4096} }
+
+// multiFaultExperiment adapts the FM-LUT policy study to the registry.
+type multiFaultExperiment struct{}
+
+func (multiFaultExperiment) Name() string       { return "ablate-multifault" }
+func (multiFaultExperiment) DefaultParams() any { return DefaultMultiFaultParams() }
+
+func (e multiFaultExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[MultiFaultParams](r, e)
+	if err != nil {
+		return nil, err
+	}
+	p.Seed = r.seedOr(p.Seed)
+	if r.quick() && p.Trials > 1000 {
+		p.Trials = 1000
+	}
+	rows, err := AblationMultiFaultEnv(r.env(ctx, e.Name(), ""), p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p, Tables: []*Table{AblationMultiFaultTable(rows)}}, nil
+}
+
+// lutExperiment adapts the LUT realization trade-off to the registry.
+type lutExperiment struct{}
+
+func (lutExperiment) Name() string       { return "ablate-lut" }
+func (lutExperiment) DefaultParams() any { return DefaultLUTParams() }
+
+func (e lutExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[LUTParams](r, e)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p, Tables: []*Table{AblationLUTTable(p.Rows)}}, nil
+}
+
+// transientExperiment adapts the soft-error boundary study to the
+// registry.
+type transientExperiment struct{}
+
+func (transientExperiment) Name() string       { return "ablate-transient" }
+func (transientExperiment) DefaultParams() any { return DefaultTransientParams() }
+
+func (e transientExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[TransientParams](r, e)
+	if err != nil {
+		return nil, err
+	}
+	p.Seed = r.seedOr(p.Seed)
+	if r.quick() && p.Rows > 256 {
+		p.Rows = 256
+	}
+	rows, err := AblationTransientEnv(r.env(ctx, e.Name(), ""), p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p, Tables: []*Table{AblationTransientTable(rows, p.Pcell)}}, nil
 }

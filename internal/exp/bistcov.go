@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"faultmem/internal/bist"
@@ -42,6 +43,17 @@ type BISTCoverageRow struct {
 // ones, since detection requires a read of the victim between the
 // aggressor's disturbing write and the victim's next rewrite.
 func BISTCoverage(p BISTCoverageParams) []BISTCoverageRow {
+	rows, err := BISTCoverageCtx(context.Background(), p)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return rows
+}
+
+// BISTCoverageCtx is BISTCoverage with cooperative cancellation, polled
+// between Monte-Carlo trials.
+func BISTCoverageCtx(ctx context.Context, p BISTCoverageParams) ([]BISTCoverageRow, error) {
 	algs := []bist.Algorithm{bist.ZeroOne(), bist.MATSPlus(), bist.MarchCMinus(), bist.MarchB()}
 	rows := make([]BISTCoverageRow, len(algs))
 	for ai, alg := range algs {
@@ -49,6 +61,9 @@ func BISTCoverage(p BISTCoverageParams) []BISTCoverageRow {
 		staticFound, staticTotal := 0, 0
 		victimFound, victimTotal := 0, 0
 		for trial := 0; trial < p.Trials; trial++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			static := fault.RandomKinds(rng,
 				fault.GenerateCount(rng, p.Rows, p.Width, p.StaticFaults, fault.Flip),
 				[]fault.Kind{fault.Flip, fault.StuckAt0, fault.StuckAt1})
@@ -95,7 +110,29 @@ func BISTCoverage(p BISTCoverageParams) []BISTCoverageRow {
 			VictimCoverage: float64(victimFound) / float64(victimTotal),
 		}
 	}
-	return rows
+	return rows, nil
+}
+
+// bistcovExperiment adapts the March coverage study to the registry.
+type bistcovExperiment struct{}
+
+func (bistcovExperiment) Name() string       { return "bistcov" }
+func (bistcovExperiment) DefaultParams() any { return DefaultBISTCoverageParams() }
+
+func (e bistcovExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[BISTCoverageParams](r, e)
+	if err != nil {
+		return nil, err
+	}
+	p.Seed = r.seedOr(p.Seed)
+	if r.quick() && p.Trials > 10 {
+		p.Trials = 10
+	}
+	rows, err := BISTCoverageCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p, Tables: []*Table{BISTCoverageTable(rows, p)}}, nil
 }
 
 // BISTCoverageTable renders the study.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -94,6 +95,19 @@ func (a energyArm) qualifies(s *yield.RowSampler, budget redund.Budget, target f
 // EnergyStudy sweeps VDD for every arm and returns the minimum viable
 // voltage and read energy per scheme.
 func EnergyStudy(p EnergyParams) []EnergyRow {
+	rows, err := EnergyStudyEnv(mc.Env{}, p)
+	if err != nil {
+		// Unreachable: the zero Env's background context never cancels.
+		panic(err)
+	}
+	return rows
+}
+
+// EnergyStudyEnv is EnergyStudy under an execution environment:
+// bit-identical rows when the context stays live, ctx.Err() when it is
+// cancelled or deadlined mid-sweep. The environment's OnShard counts
+// completed voltage points (the sweep's outer unit of work).
+func EnergyStudyEnv(env mc.Env, p EnergyParams) ([]EnergyRow, error) {
 	if p.Dies < 1 || p.Step <= 0 || p.VMax < p.VMin {
 		panic(fmt.Sprintf("exp: bad energy params %+v", p))
 	}
@@ -142,6 +156,9 @@ func EnergyStudy(p EnergyParams) []EnergyRow {
 		minVDD[i] = math.NaN()
 		alive[i] = true
 	}
+	nPoints := int((p.VMax-p.VMin+1e-9)/p.Step) + 1
+	inner := mc.Env{Ctx: env.Ctx} // points report progress; die shards stay quiet
+	reported := 0
 	vIdx := 0
 	for v := p.VMax; v >= p.VMin-1e-9; v -= p.Step {
 		vIdx++
@@ -159,7 +176,7 @@ func EnergyStudy(p EnergyParams) []EnergyRow {
 		// order — identical for any worker count. Scheme arms are judged
 		// allocation-free off the sampler's row masks.
 		spans := mc.Split(p.Dies, 0)
-		counts := mc.Run(p.Workers, len(spans), stats.DeriveSeed(p.Seed, int64(vIdx)),
+		counts, err := mc.RunEnv(inner, p.Workers, len(spans), stats.DeriveSeed(p.Seed, int64(vIdx)),
 			func(shard int, rng *rand.Rand) []int {
 				sampler := yield.NewRowSampler(p.Rows, 32)
 				ok := make([]int, len(arms))
@@ -177,6 +194,13 @@ func EnergyStudy(p EnergyParams) []EnergyRow {
 				}
 				return ok
 			})
+		if err != nil {
+			return nil, err
+		}
+		if env.OnShard != nil {
+			env.OnShard(vIdx, nPoints)
+			reported = vIdx
+		}
 		ok := make([]int, len(arms))
 		for _, shard := range counts {
 			for i, c := range shard {
@@ -193,6 +217,12 @@ func EnergyStudy(p EnergyParams) []EnergyRow {
 				alive[i] = false // yield is monotone in VDD
 			}
 		}
+	}
+
+	// The sweep may end early once every arm has failed; progress
+	// consumers still see a terminating done == total event.
+	if env.OnShard != nil && reported < nPoints {
+		env.OnShard(nPoints, nPoints)
 	}
 
 	rows := make([]EnergyRow, len(arms))
@@ -212,7 +242,31 @@ func EnergyStudy(p EnergyParams) []EnergyRow {
 	for i := range rows {
 		rows[i].RelativeToECC = rows[i].ReadEnergy / eccEnergy
 	}
-	return rows
+	return rows, nil
+}
+
+// energyExperiment adapts the voltage-scaling payoff study to the
+// registry.
+type energyExperiment struct{}
+
+func (energyExperiment) Name() string       { return "energy" }
+func (energyExperiment) DefaultParams() any { return DefaultEnergyParams() }
+
+func (e energyExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[EnergyParams](r, e)
+	if err != nil {
+		return nil, err
+	}
+	p.Seed = r.seedOr(p.Seed)
+	p.Workers = r.workersOr(p.Workers)
+	if r.quick() && p.Dies > 120 {
+		p.Dies = 120
+	}
+	rows, err := EnergyStudyEnv(r.env(ctx, e.Name(), ""), p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p, Tables: []*Table{EnergyTable(rows, p)}}, nil
 }
 
 // EnergyTable renders the study.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"faultmem/internal/sram"
@@ -39,6 +40,18 @@ type Fig2Row struct {
 
 // Fig2 runs the sweep.
 func Fig2(p Fig2Params) []Fig2Row {
+	rows, err := Fig2Ctx(context.Background(), p)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return rows
+}
+
+// Fig2Ctx is Fig2 with cooperative cancellation, polled between sweep
+// points (each point pays one importance-sampling estimate). Results are
+// identical to Fig2 when the context stays live.
+func Fig2Ctx(ctx context.Context, p Fig2Params) ([]Fig2Row, error) {
 	if p.Step <= 0 || p.VMax < p.VMin {
 		panic(fmt.Sprintf("exp: bad Fig2 params %+v", p))
 	}
@@ -48,6 +61,9 @@ func Fig2(p Fig2Params) []Fig2Row {
 	cells := p.MemoryBytes * 8
 	var rows []Fig2Row
 	for v := p.VMax; v >= p.VMin-1e-9; v -= p.Step {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := Fig2Row{
 			VDD:            v,
 			PcellAnalytic:  model.Pcell(v),
@@ -60,7 +76,29 @@ func Fig2(p Fig2Params) []Fig2Row {
 		}
 		rows = append(rows, r)
 	}
-	return rows
+	return rows, nil
+}
+
+// fig2Experiment adapts the sweep to the registry.
+type fig2Experiment struct{}
+
+func (fig2Experiment) Name() string       { return "fig2" }
+func (fig2Experiment) DefaultParams() any { return DefaultFig2Params() }
+
+func (e fig2Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[Fig2Params](r, e)
+	if err != nil {
+		return nil, err
+	}
+	p.Seed = r.seedOr(p.Seed)
+	if r.quick() && p.ISDirections > 4000 {
+		p.ISDirections = 4000
+	}
+	rows, err := Fig2Ctx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p, Tables: []*Table{Fig2Table(rows)}}, nil
 }
 
 // Fig2Table renders the sweep.

@@ -1,10 +1,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"faultmem/internal/core"
 )
+
+// Fig4Params exists for registry uniformity: the error-magnitude profile
+// is closed-form and takes no knobs.
+type Fig4Params struct{}
 
 // Fig4Row is one faulty bit position of Fig. 4: the log2 error magnitude
 // a single fault at that position inflicts on a 32-bit 2's-complement
@@ -53,4 +58,20 @@ func Fig4Table(rows []Fig4Row) *Table {
 		)
 	}
 	return t
+}
+
+// fig4Experiment adapts the profile to the registry.
+type fig4Experiment struct{}
+
+func (fig4Experiment) Name() string       { return "fig4" }
+func (fig4Experiment) DefaultParams() any { return Fig4Params{} }
+
+func (e fig4Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	if _, err := runnerParams[Fig4Params](r, e); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: Fig4Params{}, Tables: []*Table{Fig4Table(Fig4())}}, nil
 }

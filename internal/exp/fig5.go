@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"faultmem/internal/mc"
 	"faultmem/internal/yield"
 )
 
@@ -56,12 +58,54 @@ type Fig5Result struct {
 // YieldTable see the same samples on both sides. p.CDF.Workers sets the
 // engine's parallelism; results are identical for every worker count.
 func Fig5(p Fig5Params) Fig5Result {
+	res, err := Fig5Env(mc.Env{}, p)
+	if err != nil {
+		// Unreachable: the zero Env's background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// Fig5Env is Fig5 under an execution environment: bit-identical CDFs when
+// the context stays live, ctx.Err() when it is cancelled or deadlined
+// mid-campaign. Shard completions reach the environment's OnShard.
+func Fig5Env(env mc.Env, p Fig5Params) (Fig5Result, error) {
 	arms := Fig5Arms()
 	schemes := make([]yield.Scheme, len(arms))
 	for i, arm := range arms {
 		schemes[i] = arm.YieldScheme()
 	}
-	return Fig5Result{Params: p, Arms: arms, CDFs: yield.MSECDFAll(p.CDF, schemes)}
+	cdfs, err := yield.MSECDFAllEnv(env, p.CDF, schemes)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	return Fig5Result{Params: p, Arms: arms, CDFs: cdfs}, nil
+}
+
+// fig5Experiment adapts the MSE-CDF campaign to the registry.
+type fig5Experiment struct{}
+
+func (fig5Experiment) Name() string       { return "fig5" }
+func (fig5Experiment) DefaultParams() any { return DefaultFig5Params() }
+
+func (e fig5Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[Fig5Params](r, e)
+	if err != nil {
+		return nil, err
+	}
+	p.CDF.Seed = r.seedOr(p.CDF.Seed)
+	p.CDF.Workers = r.workersOr(p.CDF.Workers)
+	p.CDF.Accum = r.accumOr(p.CDF.Accum)
+	p.CDF.Bins = r.binsOr(p.CDF.Bins)
+	if r.quick() && p.CDF.Trun > 2e4 {
+		p.CDF.Trun = 2e4
+	}
+	res, err := Fig5Env(r.env(ctx, e.Name(), ""), p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p,
+		Tables: []*Table{res.CDFTable(), res.YieldTable()}}, nil
 }
 
 // CDFTable tabulates Pr(MSE <= x | N >= 1) for every arm over the grid —

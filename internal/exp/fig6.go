@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"faultmem/internal/core"
@@ -94,4 +95,23 @@ func (r Fig6Result) AbsoluteTable() *Table {
 			fmt.Sprintf("%d", o.LogicGates))
 	}
 	return t
+}
+
+// fig6Experiment adapts the overhead model to the registry.
+type fig6Experiment struct{}
+
+func (fig6Experiment) Name() string       { return "fig6" }
+func (fig6Experiment) DefaultParams() any { return DefaultFig6Params() }
+
+func (e fig6Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[Fig6Params](r, e)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := Fig6(p)
+	return &Result{Experiment: e.Name(), Params: p,
+		Tables: []*Table{res.Fig6RelativeTable(), res.AbsoluteTable()}}, nil
 }

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"faultmem/internal/dataset"
 	"faultmem/internal/fault"
@@ -329,8 +331,21 @@ func (r *fig7TrialRunner) runTrial(seedBase int64, trial int, out []float64) ([]
 // covariance + Jacobi scratch, KNN neighbors) are all reused across the
 // shard's trials.
 func Fig7(p Fig7Params) (Fig7Result, error) {
+	return Fig7Env(mc.Env{}, p)
+}
+
+// Fig7Env is Fig7 under an execution environment: bit-identical quality
+// samples when the context stays live, ctx.Err() when it is cancelled or
+// deadlined. Cancellation is polled before the (expensive) dataset
+// preparation and between trials inside each shard, so even a one-shard
+// run returns promptly; shard completions reach the environment's
+// OnShard.
+func Fig7Env(env mc.Env, p Fig7Params) (Fig7Result, error) {
 	if p.Trials < 1 || p.Rows < 1 || p.Pcell <= 0 || p.Pcell >= 1 {
 		return Fig7Result{}, fmt.Errorf("exp: bad Fig7 params %+v", p)
+	}
+	if err := env.Context().Err(); err != nil {
+		return Fig7Result{}, err
 	}
 	w, err := p.prepare()
 	if err != nil {
@@ -341,17 +356,25 @@ func Fig7(p Fig7Params) (Fig7Result, error) {
 	narms := len(arms)
 	seedBase := stats.DeriveSeed(p.Seed, 1000)
 	spans := mc.Split(p.Trials, mc.Workers(p.Workers))
+	cancel := env.Done()
 
 	type shardOut struct {
 		qs  []float64 // trial-major, arm-minor normalized qualities
 		err error
 	}
-	outs := mc.Run(p.Workers, len(spans), seedBase,
+	outs, err := mc.RunEnv(env, p.Workers, len(spans), seedBase,
 		func(shard int, _ *rand.Rand) shardOut {
 			span := spans[shard]
 			out := shardOut{qs: make([]float64, 0, (span.End-span.Start)*narms)}
 			runner := newFig7TrialRunner(p, w)
 			for trial := span.Start; trial < span.End; trial++ {
+				select {
+				case <-cancel:
+					// Abandon the shard; the engine reports ctx.Err() and
+					// the partial samples are discarded with it.
+					return out
+				default:
+				}
 				qs, err := runner.runTrial(seedBase, trial, out.qs)
 				out.qs = qs
 				if err != nil {
@@ -361,6 +384,9 @@ func Fig7(p Fig7Params) (Fig7Result, error) {
 			}
 			return out
 		})
+	if err != nil {
+		return Fig7Result{}, err
+	}
 
 	for _, o := range outs {
 		if o.err != nil {
@@ -430,4 +456,55 @@ func (r Fig7Result) SummaryTable() *Table {
 	}
 	t.AddRow("H(39,32) ECC", "1.0000", "1.0000", "1.0000", "1.0000")
 	return t
+}
+
+// Fig7Apps returns the benchmark applications in paper order (7a/b/c).
+func Fig7Apps() []App { return []App{AppElasticnet, AppPCA, AppKNN} }
+
+// DefaultFig7Suite returns the registry's fig7 parameter set: one
+// Fig7Params per benchmark application, in paper order.
+func DefaultFig7Suite() []Fig7Params {
+	apps := Fig7Apps()
+	ps := make([]Fig7Params, len(apps))
+	for i, a := range apps {
+		ps[i] = DefaultFig7Params(a)
+	}
+	return ps
+}
+
+// fig7Experiment adapts the application-quality suite to the registry:
+// one run covers every configured benchmark (the old `fig7 -app all`).
+type fig7Experiment struct{}
+
+func (fig7Experiment) Name() string       { return "fig7" }
+func (fig7Experiment) DefaultParams() any { return DefaultFig7Suite() }
+
+func (e fig7Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	ps, err := runnerParams[[]Fig7Params](r, e)
+	if err != nil {
+		return nil, err
+	}
+	// The override path hands back the caller's own slice; copy it so the
+	// effective-params rewrite below cannot mutate caller state or let a
+	// later caller mutation corrupt the returned Result.Params.
+	ps = append([]Fig7Params(nil), ps...)
+	res := &Result{Experiment: e.Name()}
+	for i := range ps {
+		ps[i].Seed = r.seedOr(ps[i].Seed)
+		ps[i].Workers = r.workersOr(ps[i].Workers)
+		if r.quick() && ps[i].Trials > QuickFig7Trials {
+			ps[i].Trials = QuickFig7Trials
+		}
+	}
+	res.Params = ps
+	for i, p := range ps {
+		stage := strings.ToLower(p.App.String())
+		out, err := Fig7Env(r.env(ctx, e.Name(), stage), p)
+		if err != nil {
+			return nil, err
+		}
+		res.Tables = append(res.Tables, out.QualityCDFTable(), out.SummaryTable())
+		r.note(e.Name(), "apps", i+1, len(ps))
+	}
+	return res, nil
 }

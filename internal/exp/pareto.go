@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"faultmem/internal/core"
 	"faultmem/internal/ecc"
 	"faultmem/internal/hw"
+	"faultmem/internal/mc"
 	"faultmem/internal/yield"
 )
 
@@ -41,6 +43,17 @@ type ParetoRow struct {
 // Pareto evaluates every arm's quality (Fig. 5 machinery) and hardware
 // cost (Fig. 6 machinery) on a common scale.
 func Pareto(p ParetoParams) []ParetoRow {
+	rows, err := ParetoEnv(mc.Env{}, p)
+	if err != nil {
+		// Unreachable: the zero Env's background context never cancels.
+		panic(err)
+	}
+	return rows
+}
+
+// ParetoEnv is Pareto under an execution environment: bit-identical rows
+// when the context stays live, ctx.Err() when cancelled mid-campaign.
+func ParetoEnv(env mc.Env, p ParetoParams) ([]ParetoRow, error) {
 	lib := hw.Lib28nm()
 	macro := hw.Macro28nm(p.CDF.Rows)
 	eccOv := hw.ECCOverhead(lib, macro, ecc.H39_32())
@@ -78,7 +91,10 @@ func Pareto(p ParetoParams) []ParetoRow {
 	for i, a := range arms {
 		schemes[i] = a.scheme
 	}
-	results := yield.MSECDFAll(p.CDF, schemes)
+	results, err := yield.MSECDFAllEnv(env, p.CDF, schemes)
+	if err != nil {
+		return nil, err
+	}
 
 	rows := make([]ParetoRow, 0, len(arms))
 	for i, a := range arms {
@@ -91,7 +107,32 @@ func Pareto(p ParetoParams) []ParetoRow {
 			RelArea:    ar,
 		})
 	}
-	return rows
+	return rows, nil
+}
+
+// paretoExperiment adapts the quality/overhead frontier to the registry.
+type paretoExperiment struct{}
+
+func (paretoExperiment) Name() string       { return "pareto" }
+func (paretoExperiment) DefaultParams() any { return DefaultParetoParams() }
+
+func (e paretoExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[ParetoParams](r, e)
+	if err != nil {
+		return nil, err
+	}
+	p.CDF.Seed = r.seedOr(p.CDF.Seed)
+	p.CDF.Workers = r.workersOr(p.CDF.Workers)
+	p.CDF.Accum = r.accumOr(p.CDF.Accum)
+	p.CDF.Bins = r.binsOr(p.CDF.Bins)
+	if r.quick() && p.CDF.Trun > 1e4 {
+		p.CDF.Trun = 1e4
+	}
+	rows, err := ParetoEnv(r.env(ctx, e.Name(), ""), p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p, Tables: []*Table{ParetoTable(rows, p)}}, nil
 }
 
 // ParetoTable renders the frontier.

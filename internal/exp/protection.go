@@ -86,37 +86,51 @@ func (p Protection) Build(rows int, fm fault.Map) (mem.Word32, error) {
 	}
 }
 
-// YieldScheme returns the residual-error model of this arm for the
-// Eq. (6) MSE analysis.
-func (p Protection) YieldScheme() yield.Scheme {
+// ID returns the typed scheme identifier of this arm — the canonical
+// currency shared by the CLIs, the registry, and the public facade.
+func (p Protection) ID() yield.SchemeID {
 	switch p {
 	case ProtNone:
-		return yield.Unprotected{}
+		return yield.SchemeNone
 	case ProtECC:
-		return yield.FullECC{}
+		return yield.SchemeECC
 	case ProtPECC:
-		return yield.PriorityECC{}
+		return yield.SchemePECC
 	default:
 		if n := p.NFM(); n > 0 {
-			return yield.NewShuffled(n)
+			return yield.SchemeNFM1 + yield.SchemeID(n-1)
 		}
 		panic(fmt.Sprintf("exp: unknown protection %d", int(p)))
 	}
 }
 
-// ParseProtection maps a CLI name ("none", "ecc", "pecc", "nfm1".."nfm5")
-// to the arm.
-func ParseProtection(s string) (Protection, error) {
-	switch s {
-	case "none":
+// ProtectionOf maps a scheme identifier to the protection arm.
+func ProtectionOf(id yield.SchemeID) (Protection, error) {
+	switch id {
+	case yield.SchemeNone:
 		return ProtNone, nil
-	case "ecc":
+	case yield.SchemeECC:
 		return ProtECC, nil
-	case "pecc":
+	case yield.SchemePECC:
 		return ProtPECC, nil
-	case "nfm1", "nfm2", "nfm3", "nfm4", "nfm5":
-		return ProtShuffle1 + Protection(s[3]-'1'), nil
 	default:
-		return 0, fmt.Errorf("exp: unknown protection %q (want none|ecc|pecc|nfm1..nfm5)", s)
+		if n := id.NFM(); n > 0 {
+			return ProtShuffle1 + Protection(n-1), nil
+		}
+		return 0, fmt.Errorf("exp: invalid scheme id %d", int(id))
 	}
+}
+
+// YieldScheme returns the residual-error model of this arm for the
+// Eq. (6) MSE analysis.
+func (p Protection) YieldScheme() yield.Scheme { return p.ID().Scheme() }
+
+// ParseProtection maps a canonical scheme name ("none", "ecc", "pecc",
+// "nfm1".."nfm5") to the arm, riding yield.ParseScheme.
+func ParseProtection(s string) (Protection, error) {
+	id, err := yield.ParseScheme(s)
+	if err != nil {
+		return 0, err
+	}
+	return ProtectionOf(id)
 }

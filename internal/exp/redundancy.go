@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"faultmem/internal/fault"
@@ -52,12 +53,26 @@ type RedundancyRow struct {
 
 // RedundancyStudy runs the Monte Carlo.
 func RedundancyStudy(p RedundancyParams) []RedundancyRow {
+	out, err := RedundancyStudyCtx(context.Background(), p)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return out
+}
+
+// RedundancyStudyCtx is RedundancyStudy with cooperative cancellation,
+// polled between operating points.
+func RedundancyStudyCtx(ctx context.Context, p RedundancyParams) ([]RedundancyRow, error) {
 	if p.Dies < 1 {
 		panic("exp: non-positive die count")
 	}
 	model := sram.Default28nm()
 	var out []RedundancyRow
 	for vi, v := range p.VDDs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rng := stats.Derive(p.Seed, int64(vi))
 		pc := model.Pcell(v)
 		row := RedundancyRow{VDD: v, Pcell: pc, RepairRate: make([]float64, len(p.Budgets))}
@@ -84,7 +99,30 @@ func RedundancyStudy(p RedundancyParams) []RedundancyRow {
 		}
 		out = append(out, row)
 	}
-	return out
+	return out, nil
+}
+
+// redundancyExperiment adapts the spare-line economics study to the
+// registry.
+type redundancyExperiment struct{}
+
+func (redundancyExperiment) Name() string       { return "redundancy" }
+func (redundancyExperiment) DefaultParams() any { return DefaultRedundancyParams() }
+
+func (e redundancyExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[RedundancyParams](r, e)
+	if err != nil {
+		return nil, err
+	}
+	p.Seed = r.seedOr(p.Seed)
+	if r.quick() && p.Dies > 100 {
+		p.Dies = 100
+	}
+	rows, err := RedundancyStudyCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p, Tables: []*Table{RedundancyTable(rows, p)}}, nil
 }
 
 // RedundancyTable renders the study.

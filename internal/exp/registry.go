@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Experiment is one campaign of the paper's evaluation behind the uniform
+// streaming API: a registry name, a JSON-serializable default parameter
+// set, and a context-aware run against a shared execution environment.
+// Uncancelled runs are bit-identical to the underlying direct entrypoints
+// for any worker count; a cancelled or deadlined context surfaces as
+// ctx.Err() with no result and no leaked goroutines.
+type Experiment interface {
+	// Name is the registry key (the CLI's `faultmem run <name>`).
+	Name() string
+	// DefaultParams returns the experiment's default parameter struct —
+	// the value Run uses when the Runner carries no override, and the
+	// template JSON overrides are unmarshalled onto.
+	DefaultParams() any
+	// Run executes the campaign under the runner's environment and
+	// returns the uniform Result.
+	Run(ctx context.Context, r *Runner) (*Result, error)
+}
+
+// entry is one registered experiment with its listing description.
+type entry struct {
+	exp  Experiment
+	desc string
+}
+
+// registry holds every experiment in presentation (paper) order. It is
+// populated once by init below — a single explicit list, so the order
+// never depends on file-level init sequencing.
+var registry []entry
+var registryIndex = map[string]int{}
+
+// Register adds an experiment to the registry. It panics on a duplicate
+// name — registry names are the wire contract of the run API.
+func Register(e Experiment, description string) {
+	name := e.Name()
+	if _, dup := registryIndex[name]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment %q", name))
+	}
+	registryIndex[name] = len(registry)
+	registry = append(registry, entry{exp: e, desc: description})
+}
+
+func init() {
+	Register(fig2Experiment{}, "SRAM cell failure probability under VDD scaling (Fig. 2)")
+	Register(fig4Experiment{}, "error magnitude per faulty bit position, all nFM options (Fig. 4)")
+	Register(table1Experiment{}, "evaluation applications and datasets (Table 1)")
+	Register(fig5Experiment{}, "CDF of memory MSE per protection scheme, 16KB at Pcell=5e-6 (Fig. 5)")
+	Register(fig6Experiment{}, "read power / delay / area overhead vs H(39,32) SECDED (Fig. 6)")
+	Register(fig7Experiment{}, "application quality CDFs: elasticnet, PCA, KNN (Fig. 7a-c)")
+	Register(energyExperiment{}, "min viable VDD and read energy per scheme (the paper's payoff)")
+	Register(redundancyExperiment{}, "spare-row/column economics under VDD scaling (Section 2)")
+	Register(paretoExperiment{}, "quality vs hardware-cost frontier across both design knobs")
+	Register(bistcovExperiment{}, "March-algorithm fault coverage: static vs coupling faults")
+	Register(widthExperiment{}, "word-width generalization: shuffle vs SECDED at W=16/32/64")
+	Register(multiFaultExperiment{}, "FM-LUT policy on multi-fault rows: BestX vs paper rule")
+	Register(lutExperiment{}, "FM-LUT realization trade-off: SRAM columns vs register file")
+	Register(transientExperiment{}, "soft errors on top of persistent faults (scheme boundary)")
+}
+
+// Experiments returns the registered names in presentation order.
+func Experiments() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.exp.Name()
+	}
+	return names
+}
+
+// Describe returns the one-line listing description of an experiment.
+func Describe(name string) (string, bool) {
+	i, ok := registryIndex[name]
+	if !ok {
+		return "", false
+	}
+	return registry[i].desc, true
+}
+
+// Lookup returns the registered experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	i, ok := registryIndex[name]
+	if !ok {
+		return nil, false
+	}
+	return registry[i].exp, true
+}
+
+// ErrUnknownExperiment reports a name missing from the registry; its
+// message lists every registered name so callers (and CLI users) see the
+// valid vocabulary.
+type ErrUnknownExperiment struct{ Name string }
+
+func (e *ErrUnknownExperiment) Error() string {
+	return fmt.Sprintf("exp: unknown experiment %q (registered: %s)",
+		e.Name, strings.Join(Experiments(), ", "))
+}
+
+// Run executes one registered experiment by name under the runner's
+// environment.
+func Run(ctx context.Context, name string, r *Runner) (*Result, error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, &ErrUnknownExperiment{Name: name}
+	}
+	return e.Run(ctx, r)
+}
+
+// RunAll executes every registered experiment in presentation order,
+// streaming each Result to emit as it completes. The first error —
+// including ctx.Err() after a cancellation — stops the iteration. The
+// runner's Params override is ignored here: a single override cannot fit
+// fourteen parameter types.
+func RunAll(ctx context.Context, r *Runner, emit func(*Result) error) error {
+	if r != nil && r.Params != nil {
+		return fmt.Errorf("exp: RunAll does not accept a params override")
+	}
+	for _, e := range registry {
+		res, err := e.exp.Run(ctx, r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.exp.Name(), err)
+		}
+		if emit != nil {
+			if err := emit(res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runnerParams resolves the effective parameters of an experiment run:
+// the runner's override when present — either the concrete params type or
+// raw JSON unmarshalled over the defaults (the wire form of the sweep
+// service) — and the experiment's DefaultParams otherwise.
+func runnerParams[T any](r *Runner, e Experiment) (T, error) {
+	def := e.DefaultParams().(T)
+	if r == nil || r.Params == nil {
+		return def, nil
+	}
+	switch p := r.Params.(type) {
+	case T:
+		return p, nil
+	case json.RawMessage:
+		if err := json.Unmarshal(p, &def); err != nil {
+			var zero T
+			return zero, fmt.Errorf("exp: %s params JSON: %w", e.Name(), err)
+		}
+		return def, nil
+	case []byte:
+		if err := json.Unmarshal(p, &def); err != nil {
+			var zero T
+			return zero, fmt.Errorf("exp: %s params JSON: %w", e.Name(), err)
+		}
+		return def, nil
+	default:
+		var zero T
+		return zero, fmt.Errorf("exp: %s params override is %T, want %T or json.RawMessage",
+			e.Name(), r.Params, zero)
+	}
+}

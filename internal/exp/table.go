@@ -8,14 +8,14 @@ import (
 )
 
 // Table is a rendered experiment exhibit: a titled grid of cells shared
-// by the text and CSV outputs of cmd/faultmem and the benchmarks.
+// by the text, CSV, and JSON outputs of cmd/faultmem and the benchmarks.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 	// Notes are free-text lines printed under the table (conventions,
 	// sample counts, paper references).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends a row of already formatted cells.

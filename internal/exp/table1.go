@@ -1,11 +1,21 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"faultmem/internal/dataset"
 	"faultmem/internal/ml"
 )
+
+// Table1Params configures the applications-and-datasets summary.
+type Table1Params struct {
+	// Seed drives the synthetic dataset generation.
+	Seed int64
+}
+
+// DefaultTable1Params uses the harness's published seed.
+func DefaultTable1Params() Table1Params { return Table1Params{Seed: 3} }
 
 // Table1Row is one benchmark of the paper's Table 1, extended with the
 // synthetic stand-in's shape and measured fault-free metric.
@@ -74,4 +84,26 @@ func Table1Table(rows []Table1Row) *Table {
 			fmt.Sprintf("%.4f", r.CleanMetric))
 	}
 	return t
+}
+
+// table1Experiment adapts the summary to the registry.
+type table1Experiment struct{}
+
+func (table1Experiment) Name() string       { return "table1" }
+func (table1Experiment) DefaultParams() any { return DefaultTable1Params() }
+
+func (e table1Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[Table1Params](r, e)
+	if err != nil {
+		return nil, err
+	}
+	p.Seed = r.seedOr(p.Seed)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rows, err := Table1(p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p, Tables: []*Table{Table1Table(rows)}}, nil
 }

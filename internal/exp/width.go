@@ -1,12 +1,22 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"faultmem/internal/core"
 	"faultmem/internal/ecc"
 	"faultmem/internal/hw"
 )
+
+// WidthParams configures the word-width generalization exhibit.
+type WidthParams struct {
+	// Rows is the macro depth.
+	Rows int
+}
+
+// DefaultWidthParams uses the 16 KB macro depth.
+func DefaultWidthParams() WidthParams { return WidthParams{Rows: 4096} }
 
 // WidthRow compares the bit-shuffling scheme against full SECDED at one
 // word width: the finest-granularity shuffle (nFM = log2 W) and the
@@ -114,4 +124,21 @@ func log2u(v uint64) int {
 		n++
 	}
 	return n
+}
+
+// widthExperiment adapts the width generalization to the registry.
+type widthExperiment struct{}
+
+func (widthExperiment) Name() string       { return "width" }
+func (widthExperiment) DefaultParams() any { return DefaultWidthParams() }
+
+func (e widthExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	p, err := runnerParams[WidthParams](r, e)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: e.Name(), Params: p, Tables: []*Table{WidthTable(WidthAblation(p.Rows))}}, nil
 }

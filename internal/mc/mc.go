@@ -9,6 +9,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -33,6 +34,39 @@ func Workers(n int) int {
 	return n
 }
 
+// Env carries the cross-cutting execution controls of one engine run:
+// cooperative cancellation and shard-completion progress. The zero value
+// is a background context with no progress reporting, making RunEnv
+// behave exactly like Run.
+type Env struct {
+	// Ctx, when non-nil, cancels the run: workers stop claiming shards as
+	// soon as the context is done and RunEnv returns ctx.Err(). Shard
+	// functions that run long should additionally poll Done() themselves.
+	Ctx context.Context
+	// OnShard, when non-nil, is invoked after every completed shard with
+	// the number of shards finished so far and the total. Calls are
+	// serialized, so the callback needs no locking of its own, but it runs
+	// on worker goroutines and must be cheap.
+	OnShard func(done, total int)
+}
+
+// Context returns the run's context, defaulting to context.Background().
+func (e Env) Context() context.Context {
+	if e.Ctx == nil {
+		return context.Background()
+	}
+	return e.Ctx
+}
+
+// Done returns the context's done channel (nil — never ready — for the
+// zero Env), for cheap polling inside hot shard loops.
+func (e Env) Done() <-chan struct{} {
+	if e.Ctx == nil {
+		return nil
+	}
+	return e.Ctx.Done()
+}
+
 // Run executes fn for every shard in [0, shards) on a pool of workers and
 // returns the per-shard results indexed by shard. Each shard receives an
 // RNG derived deterministically from (seed, shard), so the result slice —
@@ -42,24 +76,69 @@ func Workers(n int) int {
 // fn must not share mutable state across shards; everything it needs
 // should live in its closure or be allocated per call.
 func Run[T any](workers, shards int, seed int64, fn func(shard int, rng *rand.Rand) T) []T {
+	out, err := RunEnv(Env{}, workers, shards, seed, fn)
+	if err != nil {
+		// Unreachable: the zero Env's background context never cancels.
+		panic(fmt.Sprintf("mc: background run failed: %v", err))
+	}
+	return out
+}
+
+// RunEnv is Run under an execution environment: the same deterministic
+// sharded schedule — per-shard streams derived from (seed, shard), results
+// in shard order, bit-identical for any worker count — plus cooperative
+// cancellation and per-shard progress notification. When the environment's
+// context is cancelled, workers stop claiming new shards, every in-flight
+// shard is allowed to return (so no goroutine leaks), and RunEnv returns
+// nil results with ctx.Err(). An uncancelled RunEnv returns exactly what
+// Run would.
+func RunEnv[T any](env Env, workers, shards int, seed int64, fn func(shard int, rng *rand.Rand) T) ([]T, error) {
 	if shards < 0 {
 		panic(fmt.Sprintf("mc: negative shard count %d", shards))
 	}
-	if shards == 0 {
-		return nil
+	ctx := env.Context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	if shards == 0 {
+		return nil, nil
+	}
+	done := env.Done()
 	out := make([]T, shards)
+	var completed atomic.Int64
+	var noteMu sync.Mutex
+	note := func() {
+		n := int(completed.Add(1))
+		if env.OnShard != nil {
+			noteMu.Lock()
+			env.OnShard(n, shards)
+			noteMu.Unlock()
+		}
+	}
 	w := Workers(workers)
 	if w > shards {
 		w = shards
 	}
 	if w == 1 {
-		// Fast path: no goroutines, no atomics. Bit-identical to the
-		// parallel path by construction (same per-shard streams).
+		// Fast path: no goroutines, no atomics beyond the progress
+		// counter. Bit-identical to the parallel path by construction
+		// (same per-shard streams).
 		for s := 0; s < shards; s++ {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
 			out[s] = fn(s, stats.Derive(seed, int64(s)))
+			note()
 		}
-		return out
+		// A cancellation during the final shard must not surface as a
+		// clean result: shard functions may have bailed out early with
+		// partial output.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -68,16 +147,25 @@ func Run[T any](workers, shards int, seed int64, fn func(shard int, rng *rand.Ra
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				s := int(next.Add(1)) - 1
 				if s >= shards {
 					return
 				}
 				out[s] = fn(s, stats.Derive(seed, int64(s)))
+				note()
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Span is a contiguous half-open range [Start, End) of global sample

@@ -1,9 +1,13 @@
 package mc
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunShardOrderAndDeterminism(t *testing.T) {
@@ -84,6 +88,97 @@ func TestSplitCoversEverySample(t *testing.T) {
 					t.Fatalf("empty span with total=%d", tc.total)
 				}
 			}
+		}
+	}
+}
+
+func TestRunEnvMatchesRun(t *testing.T) {
+	// The zero Env must reproduce Run bit-for-bit: same shard streams,
+	// same shard order, nil error.
+	fn := func(shard int, rng *rand.Rand) float64 { return float64(shard) + rng.Float64() }
+	want := Run(3, 32, 11, fn)
+	got, err := RunEnv(Env{}, 3, 32, 11, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard %d: RunEnv %g != Run %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunEnvCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	out, err := RunEnv(Env{Ctx: ctx}, 4, 16, 1, func(int, *rand.Rand) int {
+		calls.Add(1)
+		return 0
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled run returned results: %v", out)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("cancelled run executed %d shards", calls.Load())
+	}
+}
+
+func TestRunEnvCancelMidRunNoLeak(t *testing.T) {
+	// Cancel from the progress callback after the first completed shard:
+	// the run must return ctx.Err() promptly — long before all shards
+	// could have executed — and every worker goroutine must exit.
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int64
+	const shards = 1024
+	env := Env{Ctx: ctx, OnShard: func(done, total int) {
+		if done == 1 {
+			cancel()
+		}
+	}}
+	_, err := RunEnv(env, 2, shards, 1, func(int, *rand.Rand) int {
+		executed.Add(1)
+		time.Sleep(time.Millisecond)
+		return 0
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// With 2 workers and cancellation after the first completion, only the
+	// shards already claimed may finish — nowhere near the full 1024.
+	if n := executed.Load(); n >= shards/2 {
+		t.Fatalf("cancel was not prompt: %d of %d shards ran", n, shards)
+	}
+	// Workers must be gone (RunEnv waits on them before returning), so the
+	// goroutine count settles back to the baseline.
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= base {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunEnvProgress(t *testing.T) {
+	var events [][2]int
+	env := Env{OnShard: func(done, total int) { events = append(events, [2]int{done, total}) }}
+	if _, err := RunEnv(env, 4, 32, 1, func(int, *rand.Rand) int { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 32 {
+		t.Fatalf("%d progress events, want 32", len(events))
+	}
+	for i, e := range events {
+		if e[0] != i+1 || e[1] != 32 {
+			t.Fatalf("event %d = %v, want [%d 32]", i, e, i+1)
 		}
 	}
 }

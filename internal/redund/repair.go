@@ -101,10 +101,15 @@ func Allocate(faults fault.Map, b Budget) (Allocation, bool) {
 		}
 	}
 
-	// Branch and bound over the sparse residue, pruned by the König
-	// bound: the uncovered faults' maximum matching is a lower bound on
-	// the lines any completion still needs, so a node whose bound
-	// exceeds its remaining budget is dead.
+	// Branch and bound over the sparse residue. Branching is by whole
+	// lines, not individual faults: either the heaviest remaining line is
+	// replaced by a spare, or every fault on it must be covered from the
+	// other side — the forced assignment that keeps the tree shallow.
+	// Two exact cuts close almost every node at memory-scale densities:
+	// the König bound (the residue's maximum matching exceeds the
+	// remaining budget → dead), and the isolated-fault leaf (every
+	// remaining row and column holds one fault, so the faults are
+	// interchangeable and feasibility is just a count comparison).
 	cells := make([]cell, 0, len(remaining))
 	for k := range remaining {
 		cells = append(cells, k)
@@ -116,60 +121,138 @@ func Allocate(faults fault.Map, b Budget) (Allocation, bool) {
 		return cells[i].c < cells[j].c
 	})
 
-	bound := func(rows, cols map[int]bool) int {
-		var residue fault.Map
-		for _, k := range cells {
-			if !rows[k.r] && !cols[k.c] {
-				residue = append(residue, fault.Fault{Row: k.r, Col: k.c})
-			}
+	minSparesOf := func(cs []cell) int {
+		residue := make(fault.Map, len(cs))
+		for i, k := range cs {
+			residue[i] = fault.Fault{Row: k.r, Col: k.c}
 		}
 		return MinSpares(residue)
 	}
-
-	var solve func(idx, rb, cb int, rows, cols map[int]bool) bool
-	solve = func(idx, rb, cb int, rows, cols map[int]bool) bool {
-		for idx < len(cells) {
-			k := cells[idx]
-			if rows[k.r] || cols[k.c] {
-				idx++
+	// without returns cs minus every fault on the given line.
+	without := func(cs []cell, isRow bool, idx int) []cell {
+		rest := make([]cell, 0, len(cs))
+		for _, k := range cs {
+			if (isRow && k.r == idx) || (!isRow && k.c == idx) {
 				continue
 			}
-			break
+			rest = append(rest, k)
 		}
-		if idx == len(cells) {
-			for r := range rows {
-				usedRows[r] = true
-			}
-			for c := range cols {
-				usedCols[c] = true
-			}
-			return true
-		}
-		if rb == 0 && cb == 0 {
-			return false
-		}
-		if bound(rows, cols) > rb+cb {
-			return false
-		}
-		k := cells[idx]
-		if rb > 0 {
-			rows[k.r] = true
-			if solve(idx+1, rb-1, cb, rows, cols) {
-				return true
-			}
-			delete(rows, k.r)
-		}
-		if cb > 0 {
-			cols[k.c] = true
-			if solve(idx+1, rb, cb-1, rows, cols) {
-				return true
-			}
-			delete(cols, k.c)
-		}
-		return false
+		return rest
 	}
-	if !solve(0, rowBudget, colBudget, map[int]bool{}, map[int]bool{}) {
+
+	var solve func(cs []cell, rb, cb int) ([]int, []int, bool)
+	solve = func(cs []cell, rb, cb int) ([]int, []int, bool) {
+		if len(cs) == 0 {
+			return nil, nil, true
+		}
+		// The heaviest row and column, deterministically (count
+		// descending, index ascending).
+		rowCount := map[int]int{}
+		colCount := map[int]int{}
+		for _, k := range cs {
+			rowCount[k.r]++
+			colCount[k.c]++
+		}
+		bestRow, bestRowN := -1, 0
+		for r, n := range rowCount {
+			if n > bestRowN || (n == bestRowN && r < bestRow) {
+				bestRow, bestRowN = r, n
+			}
+		}
+		bestCol, bestColN := -1, 0
+		for c, n := range colCount {
+			if n > bestColN || (n == bestColN && c < bestCol) {
+				bestCol, bestColN = c, n
+			}
+		}
+		if bestRowN == 1 && bestColN == 1 {
+			// Isolated faults: each needs one line of either kind, and any
+			// split within the budgets works.
+			if len(cs) > rb+cb {
+				return nil, nil, false
+			}
+			var rs, colsOut []int
+			for i, k := range cs {
+				if i < rb {
+					rs = append(rs, k.r)
+				} else {
+					colsOut = append(colsOut, k.c)
+				}
+			}
+			return rs, colsOut, true
+		}
+		if minSparesOf(cs) > rb+cb {
+			return nil, nil, false
+		}
+		// Branch on the heavier of the two lines.
+		branchRow := bestRowN >= bestColN
+		var line int
+		if branchRow {
+			line = bestRow
+		} else {
+			line = bestCol
+		}
+		// Option 1: spend a spare of the line's own kind.
+		if branchRow && rb > 0 {
+			if rs, colsOut, ok := solve(without(cs, true, line), rb-1, cb); ok {
+				return append(rs, line), colsOut, true
+			}
+		}
+		if !branchRow && cb > 0 {
+			if rs, colsOut, ok := solve(without(cs, false, line), rb, cb-1); ok {
+				return rs, append(colsOut, line), true
+			}
+		}
+		// Option 2: no spare for this line — every fault on it is forced
+		// onto the crossing lines.
+		forcedSet := map[int]bool{}
+		for _, k := range cs {
+			if branchRow && k.r == line {
+				forcedSet[k.c] = true
+			}
+			if !branchRow && k.c == line {
+				forcedSet[k.r] = true
+			}
+		}
+		forced := make([]int, 0, len(forcedSet))
+		for idx := range forcedSet {
+			forced = append(forced, idx)
+		}
+		sort.Ints(forced)
+		if branchRow {
+			if cb < len(forced) {
+				return nil, nil, false
+			}
+			rest := cs
+			for _, c := range forced {
+				rest = without(rest, false, c)
+			}
+			if rs, colsOut, ok := solve(rest, rb, cb-len(forced)); ok {
+				return rs, append(colsOut, forced...), true
+			}
+			return nil, nil, false
+		}
+		if rb < len(forced) {
+			return nil, nil, false
+		}
+		rest := cs
+		for _, r := range forced {
+			rest = without(rest, true, r)
+		}
+		if rs, colsOut, ok := solve(rest, rb-len(forced), cb); ok {
+			return append(rs, forced...), colsOut, true
+		}
+		return nil, nil, false
+	}
+	rs, cols, ok := solve(cells, rowBudget, colBudget)
+	if !ok {
 		return Allocation{}, false
+	}
+	for _, r := range rs {
+		usedRows[r] = true
+	}
+	for _, c := range cols {
+		usedCols[c] = true
 	}
 
 	alloc := Allocation{}

@@ -196,3 +196,95 @@ func TestRepairedStuckAtFaults(t *testing.T) {
 		t.Errorf("stuck-at leaked through repair: %#x", got)
 	}
 }
+
+// TestAllocateMatchesBruteForce checks the line-branching solver against
+// an exhaustive oracle on small instances: feasibility must agree with
+// trying every row/column subset within the budget.
+func TestAllocateMatchesBruteForce(t *testing.T) {
+	bruteOK := func(fm fault.Map, b Budget) bool {
+		var rows, cols []int
+		seenR := map[int]bool{}
+		seenC := map[int]bool{}
+		for _, f := range fm {
+			if !seenR[f.Row] {
+				seenR[f.Row] = true
+				rows = append(rows, f.Row)
+			}
+			if !seenC[f.Col] {
+				seenC[f.Col] = true
+				cols = append(cols, f.Col)
+			}
+		}
+		nr, nc := len(rows), len(cols)
+		for rm := 0; rm < 1<<nr; rm++ {
+			if popcount(rm) > b.SpareRows {
+				continue
+			}
+			for cm := 0; cm < 1<<nc; cm++ {
+				if popcount(cm) > b.SpareCols {
+					continue
+				}
+				covered := true
+				for _, f := range fm {
+					ok := false
+					for i, r := range rows {
+						if rm&(1<<i) != 0 && f.Row == r {
+							ok = true
+						}
+					}
+					for i, c := range cols {
+						if cm&(1<<i) != 0 && f.Col == c {
+							ok = true
+						}
+					}
+					if !ok {
+						covered = false
+						break
+					}
+				}
+				if covered {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	rng := stats.NewRand(31)
+	for trial := 0; trial < 400; trial++ {
+		n := rng.Intn(7) + 1
+		fm := fault.GenerateCount(rng, 5, 5, n, fault.Flip)
+		b := Budget{SpareRows: rng.Intn(3), SpareCols: rng.Intn(3)}
+		alloc, got := Allocate(fm, b)
+		want := bruteOK(fm, b)
+		if got != want {
+			t.Fatalf("trial %d: Allocate=%v oracle=%v for %v under %+v", trial, got, want, fm, b)
+		}
+		if got {
+			if len(alloc.Rows) > b.SpareRows || len(alloc.Cols) > b.SpareCols {
+				t.Fatalf("trial %d: allocation %+v exceeds budget %+v", trial, alloc, b)
+			}
+			rows := map[int]bool{}
+			cols := map[int]bool{}
+			for _, r := range alloc.Rows {
+				rows[r] = true
+			}
+			for _, c := range alloc.Cols {
+				cols[c] = true
+			}
+			for _, f := range fm {
+				if !rows[f.Row] && !cols[f.Col] {
+					t.Fatalf("trial %d: fault %+v uncovered by %+v", trial, f, alloc)
+				}
+			}
+		}
+	}
+}
+
+func popcount(v int) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}

@@ -181,6 +181,11 @@ func (p CDFParams) plan() (plans []countPlan, total, nmax int) {
 	return plans, total, nmax
 }
 
+// cancelPollMask gates how often the per-sample hot loop polls the run's
+// done channel: every 4096 samples, cheap against the per-sample work yet
+// prompt against any realistic budget (a shard holds thousands of samples).
+const cancelPollMask = 1<<12 - 1
+
 // MSECDFAll runs the Fig. 5 Monte Carlo for every scheme at once on the
 // parallel engine, with common random numbers across the arms: each fault
 // map is drawn once (per-row bitmasks, no allocations) and scored by all
@@ -192,6 +197,22 @@ func (p CDFParams) plan() (plans []countPlan, total, nmax int) {
 // executed by p.Workers goroutines; shard outputs merge in shard order,
 // so every result is bit-identical for any worker count.
 func MSECDFAll(p CDFParams, schemes []Scheme) []CDFResult {
+	rs, err := MSECDFAllEnv(mc.Env{}, p, schemes)
+	if err != nil {
+		// Unreachable: the zero Env's background context never cancels.
+		panic(fmt.Sprintf("yield: background CDF run failed: %v", err))
+	}
+	return rs
+}
+
+// MSECDFAllEnv is MSECDFAll under an execution environment: identical
+// samples and accumulators when the context stays live (the campaign is
+// bit-identical to MSECDFAll for any worker count), ctx.Err() without
+// results when it is cancelled or deadlined mid-flight. Cancellation is
+// polled between shards by the engine and every few thousand samples
+// inside each shard, so even single-shard budgets return promptly. The
+// environment's OnShard callback sees each completed shard.
+func MSECDFAllEnv(env mc.Env, p CDFParams, schemes []Scheme) ([]CDFResult, error) {
 	if p.Rows <= 0 || p.Width <= 0 || p.Width > 64 || p.Trun <= 0 {
 		panic(fmt.Sprintf("yield: bad CDF params %+v", p))
 	}
@@ -200,6 +221,7 @@ func MSECDFAll(p CDFParams, schemes []Scheme) []CDFResult {
 	}
 	plans, total, nmax := p.plan()
 	spans := mc.Split(total, p.Shards)
+	cancel := env.Done()
 
 	// Accumulator factory: exact retention for small budgets (and as the
 	// test oracle), the fixed-bin log-histogram above the auto threshold
@@ -214,7 +236,7 @@ func MSECDFAll(p CDFParams, schemes []Scheme) []CDFResult {
 		return c
 	}
 
-	outs := mc.Run(p.Workers, len(spans), p.Seed, func(shard int, rng *rand.Rand) []stats.Accumulator {
+	outs, err := mc.RunEnv(env, p.Workers, len(spans), p.Seed, func(shard int, rng *rand.Rand) []stats.Accumulator {
 		span := spans[shard]
 		accs := make([]stats.Accumulator, len(schemes))
 		for j := range accs {
@@ -232,6 +254,15 @@ func MSECDFAll(p CDFParams, schemes []Scheme) []CDFResult {
 			idx++
 		}
 		for g := span.Start; g < span.End; g++ {
+			if g&cancelPollMask == 0 {
+				select {
+				case <-cancel:
+					// Abandon the shard; the engine reports ctx.Err() and
+					// the partial accumulators are discarded with it.
+					return accs
+				default:
+				}
+			}
 			for off >= plans[idx].k {
 				off = 0
 				idx++
@@ -244,6 +275,9 @@ func MSECDFAll(p CDFParams, schemes []Scheme) []CDFResult {
 		}
 		return accs
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	p0 := stats.BinomialPMF(p.Cells(), p.Pcell, 0)
 	results := make([]CDFResult, len(schemes))
@@ -261,7 +295,7 @@ func MSECDFAll(p CDFParams, schemes []Scheme) []CDFResult {
 			MaxFailuresSwept: nmax,
 		}
 	}
-	return results
+	return results, nil
 }
 
 // MSECDF runs the Fig. 5 Monte Carlo for one scheme: for every failure

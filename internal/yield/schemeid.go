@@ -1,0 +1,100 @@
+package yield
+
+import "fmt"
+
+// SchemeID identifies a protection scheme by its canonical CLI name. It
+// replaces the stringly-typed scheme switches that used to live in the
+// public facade and both CLIs: parse once with ParseScheme, then carry the
+// typed ID through tables, flags, and the experiment registry.
+type SchemeID int
+
+const (
+	// SchemeNone is the unprotected baseline ("none").
+	SchemeNone SchemeID = iota
+	// SchemeNFM1..SchemeNFM5 are the bit-shuffling configurations
+	// ("nfm1".."nfm5").
+	SchemeNFM1
+	SchemeNFM2
+	SchemeNFM3
+	SchemeNFM4
+	SchemeNFM5
+	// SchemePECC is H(22,16) priority ECC on the 16 MSBs ("pecc").
+	SchemePECC
+	// SchemeECC is full-word H(39,32) SECDED ("ecc").
+	SchemeECC
+
+	numSchemeIDs
+)
+
+// AllSchemeIDs returns every scheme in presentation order (the Fig. 5
+// column order: unprotected, the five shuffles, P-ECC, full ECC).
+func AllSchemeIDs() []SchemeID {
+	return []SchemeID{SchemeNone, SchemeNFM1, SchemeNFM2, SchemeNFM3,
+		SchemeNFM4, SchemeNFM5, SchemePECC, SchemeECC}
+}
+
+// ParseScheme maps a canonical CLI name to the scheme ID.
+func ParseScheme(s string) (SchemeID, error) {
+	switch s {
+	case "none":
+		return SchemeNone, nil
+	case "ecc":
+		return SchemeECC, nil
+	case "pecc":
+		return SchemePECC, nil
+	case "nfm1", "nfm2", "nfm3", "nfm4", "nfm5":
+		return SchemeNFM1 + SchemeID(s[3]-'1'), nil
+	default:
+		return 0, fmt.Errorf("yield: unknown scheme %q (want none|ecc|pecc|nfm1..nfm5)", s)
+	}
+}
+
+// Valid reports whether the ID names a real scheme.
+func (id SchemeID) Valid() bool { return id >= 0 && id < numSchemeIDs }
+
+// String returns the canonical CLI spelling — the inverse of ParseScheme.
+func (id SchemeID) String() string {
+	switch id {
+	case SchemeNone:
+		return "none"
+	case SchemeECC:
+		return "ecc"
+	case SchemePECC:
+		return "pecc"
+	case SchemeNFM1, SchemeNFM2, SchemeNFM3, SchemeNFM4, SchemeNFM5:
+		return fmt.Sprintf("nfm%d", id.NFM())
+	default:
+		return fmt.Sprintf("scheme(%d)", int(id))
+	}
+}
+
+// Display returns the figure label of the scheme — identical to the name
+// its residual-error model reports.
+func (id SchemeID) Display() string { return id.Scheme().Name() }
+
+// NFM returns the FM-LUT entry width of a shuffling scheme (0 for the
+// non-shuffling schemes).
+func (id SchemeID) NFM() int {
+	if id >= SchemeNFM1 && id <= SchemeNFM5 {
+		return int(id-SchemeNFM1) + 1
+	}
+	return 0
+}
+
+// Scheme returns the residual-error model of the scheme for the Eq. (6)
+// MSE analysis. It panics on an invalid ID.
+func (id SchemeID) Scheme() Scheme {
+	switch id {
+	case SchemeNone:
+		return Unprotected{}
+	case SchemeECC:
+		return FullECC{}
+	case SchemePECC:
+		return PriorityECC{}
+	default:
+		if n := id.NFM(); n > 0 {
+			return NewShuffled(n)
+		}
+		panic(fmt.Sprintf("yield: invalid scheme id %d", int(id)))
+	}
+}

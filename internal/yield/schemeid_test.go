@@ -1,0 +1,49 @@
+package yield
+
+import "testing"
+
+func TestSchemeIDRoundTrip(t *testing.T) {
+	ids := AllSchemeIDs()
+	if len(ids) != int(numSchemeIDs) {
+		t.Fatalf("AllSchemeIDs lists %d of %d schemes", len(ids), numSchemeIDs)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if !id.Valid() {
+			t.Fatalf("%v not valid", id)
+		}
+		name := id.String()
+		if seen[name] {
+			t.Fatalf("duplicate canonical name %q", name)
+		}
+		seen[name] = true
+		back, err := ParseScheme(name)
+		if err != nil || back != id {
+			t.Fatalf("ParseScheme(%q) = %v, %v; want %v", name, back, err, id)
+		}
+		if id.Display() != id.Scheme().Name() {
+			t.Fatalf("%v: display %q != scheme name %q", id, id.Display(), id.Scheme().Name())
+		}
+	}
+}
+
+func TestSchemeIDNFM(t *testing.T) {
+	if SchemeNFM3.NFM() != 3 || SchemeNone.NFM() != 0 || SchemeECC.NFM() != 0 {
+		t.Error("NFM mapping wrong")
+	}
+	id, err := ParseScheme("nfm4")
+	if err != nil || id != SchemeNFM4 {
+		t.Fatalf("ParseScheme(nfm4) = %v, %v", id, err)
+	}
+}
+
+func TestParseSchemeRejectsUnknown(t *testing.T) {
+	for _, bad := range []string{"", "nfm0", "nfm6", "secded", "NONE"} {
+		if _, err := ParseScheme(bad); err == nil {
+			t.Errorf("ParseScheme(%q) accepted", bad)
+		}
+	}
+	if SchemeID(99).Valid() {
+		t.Error("out-of-range id valid")
+	}
+}

@@ -1,7 +1,9 @@
 package yield
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 
 	"faultmem/internal/mc"
 )
@@ -35,15 +37,52 @@ func MSECDFSweep(base CDFParams, pcells []float64, schemes []Scheme) [][]CDFResu
 // because every engine result is worker-count-invariant.
 func MSECDFSweepMap[T any](base CDFParams, pcells []float64, schemes []Scheme,
 	reduce func(point int, rs []CDFResult) T) []T {
-	if len(pcells) == 0 {
-		return nil
+	out, err := MSECDFSweepMapEnv(mc.Env{}, base, pcells, schemes, reduce)
+	if err != nil {
+		// Unreachable: the zero Env's background context never cancels.
+		panic(fmt.Sprintf("yield: background sweep failed: %v", err))
 	}
-	return mc.Run(base.Workers, len(pcells), base.Seed,
+	return out
+}
+
+// MSECDFSweepMapEnv is MSECDFSweepMap under an execution environment:
+// identical output when the context stays live, ctx.Err() when it is
+// cancelled or deadlined mid-sweep. The environment's OnShard callback
+// counts completed operating points (not the inner engine shards, which
+// would interleave across concurrent points); the context reaches the
+// inner per-point campaigns, so cancellation is prompt even inside a
+// single expensive point.
+func MSECDFSweepMapEnv[T any](env mc.Env, base CDFParams, pcells []float64, schemes []Scheme,
+	reduce func(point int, rs []CDFResult) T) ([]T, error) {
+	if len(pcells) == 0 {
+		return nil, env.Context().Err()
+	}
+	inner := mc.Env{Ctx: env.Ctx} // points report progress; shards stay quiet
+	var mu sync.Mutex
+	var firstErr error
+	out, err := mc.RunEnv(env, base.Workers, len(pcells), base.Seed,
 		func(i int, _ *rand.Rand) T {
 			q := base
 			q.Pcell = pcells[i]
-			// All randomness comes from q.Seed inside MSECDFAll, not the
-			// shard RNG.
-			return reduce(i, MSECDFAll(q, schemes))
+			// All randomness comes from q.Seed inside MSECDFAllEnv, not
+			// the shard RNG.
+			rs, err := MSECDFAllEnv(inner, q, schemes)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				var zero T
+				return zero
+			}
+			return reduce(i, rs)
 		})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
