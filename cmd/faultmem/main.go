@@ -11,7 +11,17 @@
 // parameter struct), -progress, and -timeout — and every run is
 // deterministic: results are bit-identical for any -workers value.
 // Ctrl-C (or -timeout) cancels the campaign mid-flight through the
-// engine's context plumbing.
+// engine's context plumbing; a second Ctrl-C hard-exits immediately.
+//
+// Campaigns also run distributed, with identical output:
+//
+//	faultmem worker -connect host:7715            # on each compute host
+//	faultmem coordinate -listen :7715 fig7 -json  # where results land
+//
+// The coordinator fans an experiment's Monte-Carlo shards out to every
+// connected worker, survives worker churn by reassigning expired shards,
+// and finishes locally if the pool drains — the emitted Result is
+// bit-identical to a single-host `faultmem run` at any worker count.
 package main
 
 import (
@@ -24,14 +34,29 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"faultmem"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt)
+	go watchInterrupts(sig, cancel, os.Exit)
 	os.Exit(execute(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// watchInterrupts implements the two-stage Ctrl-C contract: the first
+// interrupt cancels the campaign context so the run winds down through
+// the engine's context plumbing (and the process exits through the normal
+// error path); a second interrupt means "now" and hard-exits with the
+// conventional 128+SIGINT code.
+func watchInterrupts(sig <-chan os.Signal, cancel context.CancelFunc, exit func(int)) {
+	<-sig
+	cancel()
+	<-sig
+	exit(130)
 }
 
 // execute is the testable entry point: it returns the process exit code
@@ -56,6 +81,10 @@ func execute(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return runExperiment(ctx, rest[0], rest[1:], stdout, stderr)
+	case "coordinate":
+		return coordinate(ctx, rest, stdout, stderr)
+	case "worker":
+		return workerCmd(ctx, rest, stderr)
 	default:
 		if strings.HasPrefix(cmd, "-") {
 			fmt.Fprintf(stderr, "faultmem: unknown flag %q before a command\n\n", cmd)
@@ -74,6 +103,8 @@ usage: faultmem <command> [flags]
 
 commands:
   run <name|all>  run one registered experiment (or all, in paper order)
+  coordinate      run an experiment on a pool of remote workers
+  worker          compute shards for a remote coordinator
   list            list the experiment registry
   <name>          shorthand for 'run <name>'
 
@@ -91,6 +122,20 @@ run flags:
   -progress       report shard completions on stderr
   -timeout D      cancel the campaign after duration D (e.g. 90s)
 
+coordinate flags (before the experiment name; run flags after it):
+  -listen ADDR    TCP address workers dial (default 127.0.0.1:7715)
+  -min-workers N  workers to await before starting (default 1)
+  -wait D         how long to await them before starting anyway (default 1m)
+  -lease D        shard lease before reassignment (0 = default)
+  -session-ttl D  resume window for disconnected workers (0 = default)
+  -verbose        log worker churn and shard reassignment on stderr
+
+worker flags:
+  -connect ADDR   coordinator address to dial (default 127.0.0.1:7715)
+  -heartbeat D    liveness heartbeat cadence (0 = default)
+  -workers N      concurrent shard computations (0 = all cores)
+  -verbose        log transport events on stderr
+
 `)
 	printExperiments(w)
 }
@@ -103,8 +148,38 @@ func printExperiments(w io.Writer) {
 	}
 }
 
+// campaignExecutor abstracts where a campaign's shards compute: the local
+// engine (runExperiment) or a coordinator's worker pool (coordinate).
+// *faultmem.SweepCoordinator satisfies it directly.
+type campaignExecutor interface {
+	Run(ctx context.Context, name string, r *faultmem.Runner) (*faultmem.ExperimentResult, error)
+	RunAll(ctx context.Context, r *faultmem.Runner, emit func(*faultmem.ExperimentResult) error) error
+}
+
+// localExecutor computes everything in-process.
+type localExecutor struct{}
+
+func (localExecutor) Run(ctx context.Context, name string, r *faultmem.Runner) (*faultmem.ExperimentResult, error) {
+	return faultmem.RunExperiment(ctx, name, r)
+}
+
+func (localExecutor) RunAll(ctx context.Context, r *faultmem.Runner, emit func(*faultmem.ExperimentResult) error) error {
+	return faultmem.RunAllExperiments(ctx, r, emit)
+}
+
 func runExperiment(ctx context.Context, name string, args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("faultmem run "+name, flag.ContinueOnError)
+	return runCampaign(ctx, localExecutor{}, "", name, args, stdout, stderr)
+}
+
+// runCampaign parses the shared run flags, executes name (or "all") on
+// exec, and renders the results. cmdName prefixes error messages when the
+// campaign was launched by a subcommand other than run.
+func runCampaign(ctx context.Context, exec campaignExecutor, cmdName, name string, args []string, stdout, stderr io.Writer) int {
+	label := name
+	if cmdName != "" {
+		label = cmdName + " " + name
+	}
+	fs := flag.NewFlagSet("faultmem "+label, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit the Result JSON")
 	csvOut := fs.Bool("csv", false, "emit CSV tables")
@@ -195,18 +270,24 @@ func runExperiment(ctx context.Context, name string, args []string, stdout, stde
 	}
 
 	if name == "all" {
-		err = faultmem.RunAllExperiments(ctx, r, emit)
+		err = exec.RunAll(ctx, r, emit)
 	} else {
 		var res *faultmem.ExperimentResult
-		if res, err = faultmem.RunExperiment(ctx, name, r); err == nil {
+		if res, err = exec.Run(ctx, name, r); err == nil {
 			err = emit(res)
 		}
 	}
-	if err != nil {
+
+	// `run all` keeps going past failing experiments and reports the
+	// collected failures at the end; everything that succeeded still
+	// renders, and only real failures make the exit code non-zero.
+	var allErr *faultmem.RunAllError
+	partial := errors.As(err, &allErr)
+	if err != nil && !partial {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			fmt.Fprintf(stderr, "faultmem %s: cancelled: %v\n", name, err)
+			fmt.Fprintf(stderr, "faultmem %s: cancelled: %v\n", label, err)
 		} else {
-			fmt.Fprintf(stderr, "faultmem %s: %v\n", name, err)
+			fmt.Fprintf(stderr, "faultmem %s: %v\n", label, err)
 		}
 		return 1
 	}
@@ -219,13 +300,137 @@ func runExperiment(ctx context.Context, name string, args []string, stdout, stde
 			out, merr = results[0].JSON()
 		}
 		if merr != nil {
-			fmt.Fprintf(stderr, "faultmem %s: %v\n", name, merr)
+			fmt.Fprintf(stderr, "faultmem %s: %v\n", label, merr)
 			return 1
 		}
 		if _, err := fmt.Fprintf(stdout, "%s\n", out); err != nil {
-			fmt.Fprintf(stderr, "faultmem %s: %v\n", name, err)
+			fmt.Fprintf(stderr, "faultmem %s: %v\n", label, err)
 			return 1
 		}
 	}
+	if partial {
+		fmt.Fprintf(stderr, "faultmem %s: %d of %d experiments failed:\n",
+			label, len(allErr.Failures), len(faultmem.Experiments()))
+		for _, f := range allErr.Failures {
+			fmt.Fprintf(stderr, "  %s: %v\n", f.Name, f.Err)
+		}
+		return 1
+	}
+	return 0
+}
+
+// coordinate runs an experiment with its engine shards fanned out to a
+// pool of `faultmem worker` processes. Coordinator flags come before the
+// experiment name, run flags after it:
+//
+//	faultmem coordinate -listen :7715 -min-workers 2 fig5 -quick -json
+func coordinate(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faultmem coordinate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:7715", "TCP address to accept workers on")
+	minWorkers := fs.Int("min-workers", 1, "workers to await before starting (0 = start immediately)")
+	wait := fs.Duration("wait", time.Minute, "how long to await -min-workers before starting anyway")
+	lease := fs.Duration("lease", 0, "shard lease before reassignment (0 = default)")
+	sessionTTL := fs.Duration("session-ttl", 0, "resume window for disconnected workers (0 = default)")
+	verbose := fs.Bool("verbose", false, "log worker churn and shard reassignment on stderr")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintf(stderr, "faultmem coordinate: missing experiment name\n\n")
+		printExperiments(stderr)
+		return 2
+	}
+	name, runArgs := rest[0], rest[1:]
+	// Reject unknown names before binding the port and awaiting workers —
+	// a typo should not sit through the -wait window first.
+	if name != "all" {
+		if _, ok := faultmem.LookupExperiment(name); !ok {
+			fmt.Fprintf(stderr, "faultmem: unknown experiment %q\n\n", name)
+			printExperiments(stderr)
+			return 2
+		}
+	}
+
+	cfg := faultmem.SweepConfig{Lease: *lease, SessionTTL: *sessionTTL}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "faultmem coordinate: "+format+"\n", args...)
+		}
+	}
+	c, err := faultmem.ListenSweep(*listen, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "faultmem coordinate: %v\n", err)
+		return 1
+	}
+	defer c.Close()
+	fmt.Fprintf(stderr, "faultmem coordinate: listening on %s\n", c.Addr())
+
+	if *minWorkers > 0 {
+		wctx := ctx
+		if *wait > 0 {
+			var cancel context.CancelFunc
+			wctx, cancel = context.WithTimeout(ctx, *wait)
+			defer cancel()
+		}
+		if werr := c.AwaitWorkers(wctx, *minWorkers); werr != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(stderr, "faultmem coordinate: cancelled: %v\n", ctx.Err())
+				return 1
+			}
+			// Degrade instead of dying: a short pool still computes, and
+			// missing capacity falls back to local shards.
+			fmt.Fprintf(stderr, "faultmem coordinate: pool short after %v (want %d workers); starting anyway\n",
+				*wait, *minWorkers)
+		}
+	}
+
+	code := runCampaign(ctx, c, "coordinate", name, runArgs, stdout, stderr)
+	st := c.Stats()
+	fmt.Fprintf(stderr,
+		"faultmem coordinate: %d shards remote, %d local, %d reassigned, %d duplicate results, %d frames rejected, %d sessions resumed\n",
+		st.RemoteShards, st.LocalShards, st.Reassigned, st.DuplicateResults, st.FramesRejected, st.SessionsResumed)
+	return code
+}
+
+// workerCmd joins a coordinator's pool and computes shards until the
+// coordinator finishes the sweep or the context dies.
+func workerCmd(ctx context.Context, args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faultmem worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	connect := fs.String("connect", "127.0.0.1:7715", "coordinator address to dial")
+	heartbeat := fs.Duration("heartbeat", 0, "liveness heartbeat cadence (0 = default)")
+	workers := fs.Int("workers", 0, "concurrent shard computations (0 = all cores)")
+	verbose := fs.Bool("verbose", false, "log transport events on stderr")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "faultmem worker: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	cfg := faultmem.SweepWorkerConfig{Heartbeat: *heartbeat, LocalWorkers: *workers}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "faultmem worker: "+format+"\n", args...)
+		}
+	}
+	if err := faultmem.RunSweepWorker(ctx, *connect, cfg); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(stderr, "faultmem worker: cancelled: %v\n", err)
+		} else {
+			fmt.Fprintf(stderr, "faultmem worker: %v\n", err)
+		}
+		return 1
+	}
+	fmt.Fprintln(stderr, "faultmem worker: sweep complete")
 	return 0
 }

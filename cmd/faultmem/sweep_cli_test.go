@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"faultmem"
+)
+
+// freePort reserves a loopback address for a coordinate/worker pair. The
+// listener is closed before use, so there is a tiny reuse race — fine for
+// a test that owns the port for milliseconds.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestCoordinateMatchesLocalRun drives the full CLI surface end to end:
+// two `faultmem worker` invocations and one `faultmem coordinate`, all
+// through execute(), and requires the distributed JSON on stdout to be
+// byte-identical to a plain `faultmem run` of the same campaign.
+func TestCoordinateMatchesLocalRun(t *testing.T) {
+	var golden, errOut bytes.Buffer
+	if code := execute(context.Background(), []string{"run", "fig5", "-quick", "-json", "-seed", "7"}, &golden, &errOut); code != 0 {
+		t.Fatalf("golden run exited %d: %s", code, errOut.String())
+	}
+
+	addr := freePort(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	workerCodes := make([]int, 2)
+	workerErrs := make([]bytes.Buffer, 2)
+	for i := range workerCodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var discard bytes.Buffer
+			workerCodes[i] = execute(ctx, []string{"worker", "-connect", addr}, &discard, &workerErrs[i])
+		}(i)
+	}
+
+	var out, coordErr bytes.Buffer
+	code := execute(ctx, []string{
+		"coordinate", "-listen", addr, "-min-workers", "2", "-wait", "1m",
+		"fig5", "-quick", "-json", "-seed", "7",
+	}, &out, &coordErr)
+	if code != 0 {
+		t.Fatalf("coordinate exited %d: %s", code, coordErr.String())
+	}
+	wg.Wait()
+
+	if out.String() != golden.String() {
+		t.Errorf("distributed CLI output diverged from local run\nlocal:\n%s\ndistributed:\n%s",
+			golden.String(), out.String())
+	}
+	for i, wc := range workerCodes {
+		if wc != 0 {
+			t.Errorf("worker %d exited %d: %s", i, wc, workerErrs[i].String())
+		}
+	}
+	if !strings.Contains(coordErr.String(), "shards remote") {
+		t.Errorf("coordinate stderr missing stats summary:\n%s", coordErr.String())
+	}
+}
+
+func TestCoordinateRejectsBadInvocations(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := execute(context.Background(), []string{"coordinate", "-listen", "127.0.0.1:0"}, &out, &errOut); code != 2 {
+		t.Fatalf("coordinate without an experiment exited %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := execute(context.Background(), []string{"coordinate", "-listen", "127.0.0.1:0", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("coordinate with unknown experiment exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Fatalf("stderr does not flag the unknown experiment: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := execute(context.Background(), []string{"worker", "stray"}, &out, &errOut); code != 2 {
+		t.Fatalf("worker with a stray argument exited %d, want 2", code)
+	}
+}
+
+// failingExecutor simulates a `run all` sweep where some experiments
+// failed: the survivors stream to emit, and the failures come back
+// aggregated, exactly as faultmem.RunAllExperiments reports them.
+type failingExecutor struct{}
+
+func (failingExecutor) Run(ctx context.Context, name string, r *faultmem.Runner) (*faultmem.ExperimentResult, error) {
+	return faultmem.RunExperiment(ctx, name, r)
+}
+
+func (failingExecutor) RunAll(ctx context.Context, r *faultmem.Runner, emit func(*faultmem.ExperimentResult) error) error {
+	res, err := faultmem.RunExperiment(ctx, "fig4", r)
+	if err != nil {
+		return err
+	}
+	if err := emit(res); err != nil {
+		return err
+	}
+	return &faultmem.RunAllError{Failures: []*faultmem.ExperimentError{
+		{Name: "fig5", Err: errors.New("synthetic shard failure")},
+		{Name: "fig7", Err: errors.New("synthetic OOM")},
+	}}
+}
+
+// TestRunAllReportsFailuresAndStillRenders locks in the resilient `run
+// all` CLI contract: completed experiments still render (including the
+// JSON array), every failure is listed on stderr with its experiment
+// name, and the exit code is non-zero only because failures occurred.
+func TestRunAllReportsFailuresAndStillRenders(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := runCampaign(context.Background(), failingExecutor{}, "", "all", []string{"-json", "-quick"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("partial `run all` exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), `"experiment": "fig4"`) {
+		t.Errorf("surviving result missing from JSON output:\n%s", out.String())
+	}
+	for _, want := range []string{"2 of", "fig5: synthetic shard failure", "fig7: synthetic OOM"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut.String())
+		}
+	}
+
+	// Text mode takes the same path.
+	out.Reset()
+	errOut.Reset()
+	if code := runCampaign(context.Background(), failingExecutor{}, "", "all", []string{"-quick"}, &out, &errOut); code != 1 {
+		t.Fatalf("text-mode partial `run all` exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "############ fig4 ############") {
+		t.Errorf("surviving result missing from text output:\n%s", out.String())
+	}
+}
+
+// TestWatchInterrupts pins the two-stage Ctrl-C contract: the first
+// interrupt cancels the campaign context (graceful wind-down through the
+// normal exit path), the second hard-exits with 128+SIGINT = 130.
+func TestWatchInterrupts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		watchInterrupts(sig, cancel, func(code int) { exited <- code })
+	}()
+
+	sig <- os.Interrupt
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first interrupt did not cancel the context")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first interrupt already exited with %d", code)
+	default:
+	}
+
+	sig <- os.Interrupt
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Fatalf("second interrupt exited %d, want 130", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second interrupt did not exit")
+	}
+	<-done
+}
+
+// TestCoordinateCancelledWhileWaiting: a dead parent context during the
+// worker wait must fail fast instead of starting a local-only campaign.
+func TestCoordinateCancelledWhileWaiting(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut bytes.Buffer
+	code := execute(ctx, []string{"coordinate", "-listen", "127.0.0.1:0", "-min-workers", "1", "fig4"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("cancelled coordinate exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "cancelled") {
+		t.Fatalf("stderr does not mention cancellation: %s", errOut.String())
+	}
+}
+
+// TestCoordinateShortPoolDegrades: when no worker ever shows up inside
+// -wait, the coordinator warns and runs the campaign anyway (all shards
+// local), still exiting 0 with correct output.
+func TestCoordinateShortPoolDegrades(t *testing.T) {
+	var golden, errOut bytes.Buffer
+	if code := execute(context.Background(), []string{"run", "fig4", "-json", "-seed", "3"}, &golden, &errOut); code != 0 {
+		t.Fatalf("golden run exited %d: %s", code, errOut.String())
+	}
+
+	var out, coordErr bytes.Buffer
+	code := execute(context.Background(), []string{
+		"coordinate", "-listen", "127.0.0.1:0", "-min-workers", "1", "-wait", "50ms",
+		"fig4", "-json", "-seed", "3",
+	}, &out, &coordErr)
+	if code != 0 {
+		t.Fatalf("workerless coordinate exited %d: %s", code, coordErr.String())
+	}
+	if !strings.Contains(coordErr.String(), "starting anyway") {
+		t.Fatalf("stderr missing the degradation warning:\n%s", coordErr.String())
+	}
+	if out.String() != golden.String() {
+		t.Errorf("workerless coordinate output diverged from local run\nlocal:\n%s\ndistributed:\n%s",
+			golden.String(), out.String())
+	}
+}

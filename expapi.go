@@ -90,8 +90,18 @@ func RunExperiment(ctx context.Context, name string, r *Runner) (*ExperimentResu
 }
 
 // RunAllExperiments executes every registered experiment in presentation
-// order, streaming each result to emit as it completes. The first error
-// (including a context cancellation) stops the sequence.
+// order, streaming each result to emit as it completes. A failing
+// experiment no longer aborts the sequence: the remaining campaigns still
+// run, and the collected failures come back as a *RunAllError. Only a
+// dead context (or an emit error) stops the sweep early.
 func RunAllExperiments(ctx context.Context, r *Runner, emit func(*ExperimentResult) error) error {
 	return exp.RunAll(ctx, r, emit)
 }
+
+// ExperimentError is one experiment's failure inside a RunAllExperiments
+// sweep, tagged with the registry name that failed.
+type ExperimentError = exp.ExperimentError
+
+// RunAllError aggregates the failures of a RunAllExperiments sweep that
+// kept going past failing experiments. Failures preserves registry order.
+type RunAllError = exp.RunAllError

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -112,19 +113,55 @@ func Run(ctx context.Context, name string, r *Runner) (*Result, error) {
 	return e.Run(ctx, r)
 }
 
+// ExperimentError is one campaign's failure inside a RunAll sequence.
+type ExperimentError struct {
+	Name string
+	Err  error
+}
+
+func (e *ExperimentError) Error() string { return fmt.Sprintf("%s: %v", e.Name, e.Err) }
+func (e *ExperimentError) Unwrap() error { return e.Err }
+
+// RunAllError aggregates the failures of a RunAll sequence that kept
+// going past failing experiments. Failures preserves registry order.
+type RunAllError struct{ Failures []*ExperimentError }
+
+func (e *RunAllError) Error() string {
+	names := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		names[i] = f.Name
+	}
+	return fmt.Sprintf("exp: %d of %d experiments failed (%s); first: %v",
+		len(e.Failures), len(registry), strings.Join(names, ", "), e.Failures[0].Err)
+}
+
 // RunAll executes every registered experiment in presentation order,
-// streaming each Result to emit as it completes. The first error —
-// including ctx.Err() after a cancellation — stops the iteration. The
-// runner's Params override is ignored here: a single override cannot fit
-// fourteen parameter types.
+// streaming each Result to emit as it completes. A failing experiment no
+// longer aborts the sequence: the remaining campaigns still run, and the
+// collected failures come back as a *RunAllError so callers can report
+// exactly which campaigns failed. A context cancellation stops the
+// iteration immediately (the aggregate then ends with that experiment's
+// ctx error), as does an error from emit — if the sink is broken there is
+// nowhere left to stream results. The runner's Params override is
+// rejected: a single override cannot fit fourteen parameter types.
 func RunAll(ctx context.Context, r *Runner, emit func(*Result) error) error {
 	if r != nil && r.Params != nil {
 		return fmt.Errorf("exp: RunAll does not accept a params override")
 	}
-	for _, e := range registry {
+	return runAll(ctx, registry, r, emit)
+}
+
+// runAll is RunAll over an explicit experiment list — the testable core.
+func runAll(ctx context.Context, entries []entry, r *Runner, emit func(*Result) error) error {
+	var agg RunAllError
+	for _, e := range entries {
 		res, err := e.exp.Run(ctx, r)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.exp.Name(), err)
+			agg.Failures = append(agg.Failures, &ExperimentError{Name: e.exp.Name(), Err: err})
+			if ctx.Err() != nil {
+				break
+			}
+			continue
 		}
 		if emit != nil {
 			if err := emit(res); err != nil {
@@ -132,36 +169,46 @@ func RunAll(ctx context.Context, r *Runner, emit func(*Result) error) error {
 			}
 		}
 	}
+	if len(agg.Failures) > 0 {
+		return &agg
+	}
 	return nil
 }
 
 // runnerParams resolves the effective parameters of an experiment run:
 // the runner's override when present — either the concrete params type or
 // raw JSON unmarshalled over the defaults (the wire form of the sweep
-// service) — and the experiment's DefaultParams otherwise.
+// service) — and the experiment's DefaultParams otherwise. JSON overrides
+// are strict: an unknown field (a typo like "trails" for "trials") fails
+// the run loudly instead of silently running the defaults.
 func runnerParams[T any](r *Runner, e Experiment) (T, error) {
 	def := e.DefaultParams().(T)
 	if r == nil || r.Params == nil {
 		return def, nil
 	}
+	var raw []byte
 	switch p := r.Params.(type) {
 	case T:
 		return p, nil
 	case json.RawMessage:
-		if err := json.Unmarshal(p, &def); err != nil {
-			var zero T
-			return zero, fmt.Errorf("exp: %s params JSON: %w", e.Name(), err)
-		}
-		return def, nil
+		raw = p
 	case []byte:
-		if err := json.Unmarshal(p, &def); err != nil {
-			var zero T
-			return zero, fmt.Errorf("exp: %s params JSON: %w", e.Name(), err)
-		}
-		return def, nil
+		raw = p
 	default:
 		var zero T
 		return zero, fmt.Errorf("exp: %s params override is %T, want %T or json.RawMessage",
 			e.Name(), r.Params, zero)
 	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&def); err != nil {
+		var zero T
+		return zero, fmt.Errorf("exp: %s params JSON: %w", e.Name(), err)
+	}
+	// Reject trailing garbage after the params object ("{...}{...}").
+	if dec.More() {
+		var zero T
+		return zero, fmt.Errorf("exp: %s params JSON: trailing data after object", e.Name())
+	}
+	return def, nil
 }

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParamsRejectUnknownFields locks in the loud-typo fix: a params
+// override with a misspelled field ("trails" for trials-like knobs) must
+// fail the run instead of silently running the defaults.
+func TestParamsRejectUnknownFields(t *testing.T) {
+	for _, tc := range []struct{ name, params string }{
+		{"fig5", `{"trails": 500}`},
+		{"fig5", `{"CDF": {"Truns": 500}}`}, // nested typo
+		{"fig7", `[{"Trails": 500}]`}, // fig7 params are a per-app list
+		{"width", `{"rows": 10, "Bogus": 1}`},
+	} {
+		_, err := Run(context.Background(), tc.name, &Runner{Params: json.RawMessage(tc.params)})
+		if err == nil {
+			t.Fatalf("%s %s: typo'd params accepted", tc.name, tc.params)
+		}
+		if !strings.Contains(err.Error(), "unknown field") {
+			t.Fatalf("%s %s: error does not name the unknown field: %v", tc.name, tc.params, err)
+		}
+	}
+}
+
+// TestParamsRejectTrailingGarbage: two concatenated objects are not a
+// valid override.
+func TestParamsRejectTrailingGarbage(t *testing.T) {
+	_, err := Run(context.Background(), "fig4", &Runner{Params: json.RawMessage(`{}{"x":1}`)})
+	if err == nil {
+		t.Fatal("trailing JSON garbage accepted")
+	}
+}
+
+// TestParamsStillMergeKnownFields: the strict decoder must keep accepting
+// correct overrides, merged over the defaults.
+func TestParamsStillMergeKnownFields(t *testing.T) {
+	res, err := Run(context.Background(), "fig5",
+		&Runner{Params: json.RawMessage(`{"CDF": {"Trun": 1000}}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := res.Params.(Fig5Params)
+	if !ok {
+		t.Fatalf("result params are %T", res.Params)
+	}
+	if p.CDF.Trun != 1000 {
+		t.Fatalf("Trun = %g, want 1000", p.CDF.Trun)
+	}
+	if p.CDF.Rows != DefaultFig5Params().CDF.Rows {
+		t.Fatal("unrelated defaults were not preserved")
+	}
+}
+
+// fakeExperiment is a synthetic registry entry for exercising runAll
+// without touching the real (package-global) registry.
+type fakeExperiment struct {
+	name string
+	run  func(ctx context.Context, r *Runner) (*Result, error)
+}
+
+func (f fakeExperiment) Name() string       { return f.name }
+func (f fakeExperiment) DefaultParams() any { return struct{}{} }
+func (f fakeExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
+	return f.run(ctx, r)
+}
+
+func okExperiment(name string) entry {
+	return entry{exp: fakeExperiment{name: name, run: func(context.Context, *Runner) (*Result, error) {
+		return &Result{Experiment: name}, nil
+	}}}
+}
+
+func failExperiment(name string, err error) entry {
+	return entry{exp: fakeExperiment{name: name, run: func(context.Context, *Runner) (*Result, error) {
+		return nil, err
+	}}}
+}
+
+// TestRunAllContinuesPastFailures: a failing experiment must not abort
+// the sequence; the remaining campaigns run and the aggregate names every
+// failure in order.
+func TestRunAllContinuesPastFailures(t *testing.T) {
+	boomA, boomB := errors.New("boom-a"), errors.New("boom-b")
+	entries := []entry{
+		okExperiment("one"),
+		failExperiment("bad-a", boomA),
+		okExperiment("two"),
+		failExperiment("bad-b", boomB),
+		okExperiment("three"),
+	}
+	var seen []string
+	err := runAll(context.Background(), entries, nil, func(res *Result) error {
+		seen = append(seen, res.Experiment)
+		return nil
+	})
+	if want := []string{"one", "two", "three"}; fmt.Sprint(seen) != fmt.Sprint(want) {
+		t.Fatalf("emitted %v, want %v", seen, want)
+	}
+	var agg *RunAllError
+	if !errors.As(err, &agg) {
+		t.Fatalf("err = %v (%T), want *RunAllError", err, err)
+	}
+	if len(agg.Failures) != 2 || agg.Failures[0].Name != "bad-a" || agg.Failures[1].Name != "bad-b" {
+		t.Fatalf("failures = %+v", agg.Failures)
+	}
+	if !errors.Is(agg.Failures[0], boomA) || !errors.Is(agg.Failures[1], boomB) {
+		t.Fatal("aggregate lost the underlying errors")
+	}
+	if !strings.Contains(err.Error(), "bad-a") || !strings.Contains(err.Error(), "bad-b") {
+		t.Fatalf("aggregate message does not name the failures: %v", err)
+	}
+}
+
+// TestRunAllStopsOnCancellation: once the context is dead, iterating on
+// (and failing) every remaining experiment is noise — stop at the first
+// cancelled campaign.
+func TestRunAllStopsOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	entries := []entry{
+		okExperiment("one"),
+		{exp: fakeExperiment{name: "canceller", run: func(ctx context.Context, r *Runner) (*Result, error) {
+			cancel()
+			return nil, ctx.Err()
+		}}},
+		{exp: fakeExperiment{name: "after", run: func(context.Context, *Runner) (*Result, error) {
+			ran++
+			return &Result{Experiment: "after"}, nil
+		}}},
+	}
+	err := runAll(ctx, entries, nil, nil)
+	var agg *RunAllError
+	if !errors.As(err, &agg) || len(agg.Failures) != 1 || agg.Failures[0].Name != "canceller" {
+		t.Fatalf("err = %v, want single canceller failure", err)
+	}
+	if ran != 0 {
+		t.Fatal("experiments kept running after the context died")
+	}
+}
+
+// TestRunAllStopsOnEmitError: a broken sink ends the run with the sink's
+// error, not an aggregate.
+func TestRunAllStopsOnEmitError(t *testing.T) {
+	sink := errors.New("sink broke")
+	entries := []entry{okExperiment("one"), okExperiment("two")}
+	calls := 0
+	err := runAll(context.Background(), entries, nil, func(*Result) error { calls++; return sink })
+	if !errors.Is(err, sink) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after failing, want 1", calls)
+	}
+}

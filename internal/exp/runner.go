@@ -53,6 +53,12 @@ type Runner struct {
 	// unmarshalled over the defaults — the wire form remote sweep
 	// services use.
 	Params any
+	// Exec, when non-nil, takes over engine shard execution (mc.Env.Exec):
+	// the hook the multi-host sweep service uses, on the coordinator to
+	// fan shards out to remote workers and on a worker to compute exactly
+	// one requested shard of a replayed campaign. Leave nil for ordinary
+	// local runs.
+	Exec mc.ExecFunc
 }
 
 // workersOr returns the runner's worker count, falling back to the
@@ -95,10 +101,18 @@ func (r *Runner) binsOr(def int) int {
 func (r *Runner) quick() bool { return r != nil && r.Quick }
 
 // env builds the engine environment for one stage of the named
-// experiment: the caller's context plus a shard-completion bridge into
-// the runner's progress sink.
+// experiment: the caller's context, a shard-completion bridge into the
+// runner's progress sink, and — for remote execution — the runner's shard
+// executor under a tag that names this engine run uniquely within the
+// campaign ("experiment" or "experiment/stage").
 func (r *Runner) env(ctx context.Context, experiment, stage string) mc.Env {
-	e := mc.Env{Ctx: ctx}
+	e := mc.Env{Ctx: ctx, Tag: experiment}
+	if stage != "" {
+		e.Tag = experiment + "/" + stage
+	}
+	if r != nil {
+		e.Exec = r.Exec
+	}
 	if r != nil && r.Progress != nil {
 		sink := r.Progress
 		e.OnShard = func(done, total int) {

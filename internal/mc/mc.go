@@ -9,7 +9,10 @@
 package mc
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -35,9 +38,9 @@ func Workers(n int) int {
 }
 
 // Env carries the cross-cutting execution controls of one engine run:
-// cooperative cancellation and shard-completion progress. The zero value
-// is a background context with no progress reporting, making RunEnv
-// behave exactly like Run.
+// cooperative cancellation, shard-completion progress, and (optionally)
+// an external shard executor. The zero value is a background context with
+// no progress reporting, making RunEnv behave exactly like Run.
 type Env struct {
 	// Ctx, when non-nil, cancels the run: workers stop claiming shards as
 	// soon as the context is done and RunEnv returns ctx.Err(). Shard
@@ -48,6 +51,18 @@ type Env struct {
 	// serialized, so the callback needs no locking of its own, but it runs
 	// on worker goroutines and must be cheap.
 	OnShard func(done, total int)
+	// Tag identifies this engine run to an external executor — typically
+	// "experiment" or "experiment/stage". Two RunEnv calls of the same
+	// campaign must carry distinct tags so shard indices do not collide on
+	// the wire. Ignored when Exec is nil.
+	Tag string
+	// Exec, when non-nil, takes over shard execution: the engine calls it
+	// once per shard instead of running the shard function directly, and
+	// the claiming goroutine count is lifted to the shard count (Exec is
+	// expected to block on I/O or gate its own compute). See ExecFunc for
+	// the contract. The shard-level work export of the multi-host sweep
+	// service hangs off this hook.
+	Exec ExecFunc
 }
 
 // Context returns the run's context, defaulting to context.Background().
@@ -66,6 +81,48 @@ func (e Env) Done() <-chan struct{} {
 	}
 	return e.Ctx.Done()
 }
+
+// ShardJob is one unit of exported shard work: everything an external
+// executor needs to run the shard locally, ship it to a remote host, or
+// decode a remotely computed result back into the engine's shard type.
+// The (seed, shard) RNG derivation is baked into Run, so a shard computes
+// the same bits no matter which host executes it.
+type ShardJob struct {
+	// Ctx is the engine run's context; executors that block (on a queue,
+	// a network round trip, a semaphore) must honor it.
+	Ctx context.Context
+	// Tag identifies the engine run (Env.Tag), Shard this job's index in
+	// [0, Shards). A remote replay must verify Shards matches before
+	// trusting Shard to mean the same slice of work.
+	Tag           string
+	Shard, Shards int
+	// Run computes the shard locally and returns its value (the engine's
+	// shard type T).
+	Run func() any
+	// Encode serializes a value produced by Run for the wire; it fails
+	// when the shard type is not serializable, which executors should
+	// treat as "this shard must run on this host".
+	Encode func(v any) ([]byte, error)
+	// Decode reverses Encode into the engine's shard type.
+	Decode func(b []byte) (any, error)
+}
+
+// ExecFunc executes one exported shard on behalf of the engine. It
+// returns the shard's value (obtained from job.Run or job.Decode), or
+// ErrShardSkipped to leave the shard uncomputed (the run then fails with
+// ErrPartialRun so the holes can never be merged as results), or any
+// other error to abort the run.
+type ExecFunc func(job ShardJob) (any, error)
+
+// ErrShardSkipped is returned by an ExecFunc to decline a shard without
+// aborting the run — the selection mechanism of a replay harness that
+// wants exactly one shard of a campaign.
+var ErrShardSkipped = errors.New("mc: shard skipped by executor")
+
+// ErrPartialRun reports that an executor skipped at least one shard: the
+// output slice has holes and was withheld, so partial state can never be
+// merged as a complete result.
+var ErrPartialRun = errors.New("mc: executor skipped shards")
 
 // Run executes fn for every shard in [0, shards) on a pool of workers and
 // returns the per-shard results indexed by shard. Each shard receives an
@@ -114,6 +171,9 @@ func RunEnv[T any](env Env, workers, shards int, seed int64, fn func(shard int, 
 			env.OnShard(n, shards)
 			noteMu.Unlock()
 		}
+	}
+	if env.Exec != nil {
+		return runExec(env, ctx, shards, seed, fn, out, note)
 	}
 	w := Workers(workers)
 	if w > shards {
@@ -164,6 +224,97 @@ func RunEnv[T any](env Env, workers, shards int, seed int64, fn func(shard int, 
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// runExec is the exported-shard execution path of RunEnv: every shard is
+// handed to env.Exec as a ShardJob. One goroutine is spawned per shard —
+// executors block on I/O (a remote round trip) or gate their own local
+// compute, so lifting the claiming parallelism to the shard count keeps a
+// remote fleet saturated without changing which values any shard yields.
+func runExec[T any](env Env, ctx context.Context, shards int, seed int64,
+	fn func(shard int, rng *rand.Rand) T, out []T, note func()) ([]T, error) {
+	done := env.Done()
+	var next, skipped atomic.Int64
+	var failed atomic.Bool
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for i := 0; i < shards; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				job := ShardJob{
+					Ctx:    ctx,
+					Tag:    env.Tag,
+					Shard:  s,
+					Shards: shards,
+					Run:    func() any { return fn(s, stats.Derive(seed, int64(s))) },
+					Encode: func(v any) ([]byte, error) {
+						var buf bytes.Buffer
+						if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+							return nil, fmt.Errorf("mc: encode shard %d of %q: %w", s, env.Tag, err)
+						}
+						return buf.Bytes(), nil
+					},
+					Decode: func(b []byte) (any, error) {
+						var v T
+						if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+							return nil, fmt.Errorf("mc: decode shard %d of %q: %w", s, env.Tag, err)
+						}
+						return v, nil
+					},
+				}
+				v, err := env.Exec(job)
+				switch {
+				case err == nil:
+					t, ok := v.(T)
+					if !ok {
+						fail(fmt.Errorf("mc: executor returned %T for shard %d of %q, want %T", v, s, env.Tag, t))
+						return
+					}
+					out[s] = t
+					note()
+				case errors.Is(err, ErrShardSkipped):
+					skipped.Add(1)
+				default:
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if n := skipped.Load(); n > 0 {
+		return nil, fmt.Errorf("%w: %d of %d", ErrPartialRun, n, shards)
 	}
 	return out, nil
 }

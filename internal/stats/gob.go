@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// This file makes both Accumulator implementations gob-transportable, so
+// a Monte-Carlo shard's accumulators — including []Accumulator values,
+// via the Register calls below — can cross a host boundary and merge on
+// the coordinator bit-identically to a single-host run. Only the state
+// that defines the distribution is encoded; lazily built query caches
+// (sorted order, prefix sums) are rebuilt on first query after decode, so
+// a decoded accumulator answers every query exactly like the original.
+
+func init() {
+	gob.Register(&WeightedCDF{})
+	gob.Register(&LogHistogram{})
+}
+
+// wcdfWire is the wire form of WeightedCDF: observations in insertion
+// order (the order Merge preserves and every query result depends on).
+type wcdfWire struct {
+	Xs, Ws []float64
+	Total  float64
+}
+
+// GobEncode encodes the CDF's observations in insertion order.
+func (c *WeightedCDF) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(wcdfWire{Xs: c.xs, Ws: c.ws, Total: c.total})
+	return buf.Bytes(), err
+}
+
+// GobDecode replaces the CDF with the encoded observations.
+func (c *WeightedCDF) GobDecode(b []byte) error {
+	var w wcdfWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	if len(w.Xs) != len(w.Ws) {
+		return fmt.Errorf("stats: corrupt WeightedCDF encoding: %d observations, %d weights", len(w.Xs), len(w.Ws))
+	}
+	*c = WeightedCDF{xs: w.Xs, ws: w.Ws, total: w.Total}
+	return nil
+}
+
+// histWire is the wire form of LogHistogram: the bin geometry, the bin
+// weights, and the running moments/extrema.
+type histWire struct {
+	LogMin, LogMax float64
+	NBins          int
+	W              []float64
+	Total          float64
+	Count          int64
+	SumX, SumXX    float64
+	Min, Max       float64
+}
+
+// GobEncode encodes the histogram's geometry, bins, and moments.
+func (h *LogHistogram) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(histWire{
+		LogMin: h.logMin, LogMax: h.logMax, NBins: h.nbins, W: h.w,
+		Total: h.total, Count: h.count, SumX: h.sumX, SumXX: h.sumXX,
+		Min: h.min, Max: h.max,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode replaces the histogram with the encoded state.
+func (h *LogHistogram) GobDecode(b []byte) error {
+	var w histWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	if w.NBins < 1 || !(w.LogMax > w.LogMin) || len(w.W) != w.NBins+2 {
+		return fmt.Errorf("stats: corrupt LogHistogram encoding: %d bins over [%g, %g) with %d weights",
+			w.NBins, w.LogMin, w.LogMax, len(w.W))
+	}
+	*h = LogHistogram{
+		logMin: w.LogMin, logMax: w.LogMax, nbins: w.NBins,
+		scale: float64(w.NBins) / (w.LogMax - w.LogMin),
+		w:     w.W, dirty: true,
+		total: w.Total, count: w.Count, sumX: w.SumX, sumXX: w.SumXX,
+		min: w.Min, max: w.Max,
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+// Package chaostest is the fault-injection harness of the sweep
+// transport: a frame-aware TCP proxy that sits between workers and a
+// coordinator and mangles traffic on a seeded, deterministic schedule —
+// dropping, delaying, duplicating, truncating, and corrupting whole
+// frames — so the e2e tests can prove a campaign's results stay
+// bit-identical under churn instead of assuming it.
+package chaostest
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"faultmem/internal/sweep"
+)
+
+// Dir is a traffic direction through the proxy.
+type Dir int
+
+const (
+	// ToServer is worker→coordinator traffic (hellos, results, heartbeats).
+	ToServer Dir = iota
+	// ToClient is coordinator→worker traffic (welcomes, jobs, cancels).
+	ToClient
+)
+
+func (d Dir) String() string {
+	if d == ToServer {
+		return "→server"
+	}
+	return "→client"
+}
+
+// Action is what the proxy does to one frame.
+type Action int
+
+const (
+	// Pass forwards the frame untouched.
+	Pass Action = iota
+	// Drop swallows the frame silently — the lost-packet case the lease
+	// and heartbeat machinery must absorb.
+	Drop
+	// Duplicate forwards the frame twice — the double-delivery case the
+	// job-ID dedup must absorb.
+	Duplicate
+	// CorruptPayload flips a payload bit, leaving the header intact: the
+	// receiver sees a well-delimited frame with a bad checksum and must
+	// reject it without killing the connection.
+	CorruptPayload
+	// CorruptHeader flips a magic byte: the receiver loses frame
+	// alignment and must drop the connection (and the peer reconnect).
+	// The proxy closes the link after sending, since nothing sane can
+	// follow a desynchronized stream.
+	CorruptHeader
+	// Truncate sends only half the frame and closes the connection —
+	// the mid-write crash case.
+	Truncate
+)
+
+// Verdict is a policy's decision for one frame.
+type Verdict struct {
+	Action Action
+	// Delay postpones forwarding — the slow-network case that makes
+	// late results race their reassigned replacements.
+	Delay time.Duration
+}
+
+// Policy decides the fate of the n-th frame (per direction, per
+// connection). Policies see the raw frame bytes and must not mutate them.
+type Policy func(dir Dir, n int, frame []byte) Verdict
+
+// PassAll forwards everything untouched.
+func PassAll(Dir, int, []byte) Verdict { return Verdict{} }
+
+// Proxy is one listening chaos proxy in front of a coordinator. Each
+// accepted worker connection gets its own upstream connection and its own
+// frame counters, so seeded policies are deterministic per connection.
+type Proxy struct {
+	ln       net.Listener
+	upstream string
+	policy   Policy
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on a fresh localhost port forwarding to upstream.
+func New(upstream string, policy Policy) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		policy = PassAll
+	}
+	p := &Proxy{ln: ln, upstream: upstream, policy: policy, conns: map[net.Conn]struct{}{}}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address workers should dial instead of the coordinator.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops the proxy and severs every connection through it — a full
+// network partition for all proxied workers.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.upstream)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		if !p.track(client) || !p.track(server) {
+			client.Close()
+			server.Close()
+			return
+		}
+		p.wg.Add(2)
+		go p.pump(client, server, ToServer)
+		go p.pump(server, client, ToClient)
+	}
+}
+
+// pump forwards frames src→dst under the policy. Any error — including a
+// fatal frame error from a stream the policy itself desynchronized —
+// closes both directions, which is exactly what a real half-dead link
+// does.
+func (p *Proxy) pump(src, dst net.Conn, dir Dir) {
+	defer p.wg.Done()
+	defer func() {
+		src.Close()
+		dst.Close()
+		p.untrack(src)
+		p.untrack(dst)
+	}()
+	for n := 0; ; n++ {
+		frame, err := sweep.ReadRawFrame(src)
+		if err != nil {
+			return
+		}
+		v := p.policy(dir, n, frame)
+		if v.Delay > 0 {
+			time.Sleep(v.Delay)
+		}
+		switch v.Action {
+		case Drop:
+			continue
+		case Duplicate:
+			if _, err := dst.Write(frame); err != nil {
+				return
+			}
+			if _, err := dst.Write(frame); err != nil {
+				return
+			}
+		case CorruptPayload:
+			bad := append([]byte(nil), frame...)
+			if len(bad) > 12 {
+				bad[12] ^= 0x01 // first payload byte
+			} else {
+				bad[8] ^= 0x01 // empty payload: flip the checksum instead
+			}
+			if _, err := dst.Write(bad); err != nil {
+				return
+			}
+		case CorruptHeader:
+			bad := append([]byte(nil), frame...)
+			bad[0] ^= 0xFF
+			dst.Write(bad)
+			return
+		case Truncate:
+			dst.Write(frame[:len(frame)/2+1])
+			return
+		default:
+			if _, err := dst.Write(frame); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// RandomChaos is a seeded random policy: each frame independently draws
+// its fate with the given probabilities (the rest pass). Handshake frames
+// (the first in each direction) always pass, so every connection at least
+// reaches a session before the weather starts. The same seed gives the
+// same schedule on every run.
+type RandomChaos struct {
+	Seed                          int64
+	PDrop, PDup, PCorrupt, PDelay float64
+	MaxDelay                      time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Policy returns the sampling Policy of this chaos configuration.
+func (r *RandomChaos) Policy() Policy {
+	r.rng = rand.New(rand.NewSource(r.Seed))
+	return func(dir Dir, n int, frame []byte) Verdict {
+		if n == 0 {
+			return Verdict{} // let the handshake through
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		x := r.rng.Float64()
+		var v Verdict
+		switch {
+		case x < r.PDrop:
+			v.Action = Drop
+		case x < r.PDrop+r.PDup:
+			v.Action = Duplicate
+		case x < r.PDrop+r.PDup+r.PCorrupt:
+			v.Action = CorruptPayload
+		}
+		if r.PDelay > 0 && r.rng.Float64() < r.PDelay {
+			v.Delay = time.Duration(r.rng.Int63n(int64(r.MaxDelay) + 1))
+		}
+		return v
+	}
+}

@@ -1,0 +1,386 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"faultmem/internal/exp"
+	"faultmem/internal/sweep"
+	"faultmem/internal/sweep/chaostest"
+)
+
+// Churn-clock settings shrunk to test scale: leases expire in hundreds of
+// milliseconds, reconnects take tens.
+func testConfig(t *testing.T) sweep.Config {
+	return sweep.Config{
+		Lease:             300 * time.Millisecond,
+		SessionTTL:        time.Second,
+		MaxRemoteAttempts: 3,
+		Logf:              t.Logf,
+	}
+}
+
+func testWorkerConfig(t *testing.T) sweep.WorkerConfig {
+	return sweep.WorkerConfig{
+		Heartbeat:    50 * time.Millisecond,
+		PongTimeout:  2 * time.Second,
+		ReconnectMin: 10 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+		Logf:         t.Logf,
+	}
+}
+
+func startCoordinator(t *testing.T) *sweep.Coordinator {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sweep.NewCoordinator(ln, testConfig(t))
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// startWorker runs one worker until killed (or test cleanup). The
+// returned kill closes its context and waits for it to exit — a hard
+// worker death as far as the coordinator can tell.
+func startWorker(t *testing.T, addr string) (kill func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sweep.RunWorker(ctx, addr, testWorkerConfig(t))
+	}()
+	var once sync.Once
+	kill = func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
+	}
+	t.Cleanup(kill)
+	return kill
+}
+
+// testRunner is the campaign every e2e test runs: a pinned seed so the
+// local golden and the distributed run describe the same draw, quick
+// budgets so churn dominates runtime.
+func testRunner() *exp.Runner {
+	seed := int64(7)
+	return &exp.Runner{Quick: true, Seed: &seed}
+}
+
+// goldenJSON is the single-host truth the distributed runs must match
+// bit for bit.
+func goldenJSON(t *testing.T, name string) []byte {
+	t.Helper()
+	res, err := exp.Run(context.Background(), name, testRunner())
+	if err != nil {
+		t.Fatalf("local %s: %v", name, err)
+	}
+	j, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func distributedJSON(t *testing.T, c *sweep.Coordinator, name string) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := c.Run(ctx, name, testRunner())
+	if err != nil {
+		t.Fatalf("distributed %s: %v", name, err)
+	}
+	j, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestDistributedRunIsBitIdenticalToLocal: the baseline contract — three
+// healthy workers, shards computed remotely, output equal to the
+// single-host run byte for byte.
+func TestDistributedRunIsBitIdenticalToLocal(t *testing.T) {
+	c := startCoordinator(t)
+	for i := 0; i < 3; i++ {
+		startWorker(t, c.Addr().String())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.AwaitWorkers(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	got := distributedJSON(t, c, "fig5")
+	want := goldenJSON(t, "fig5")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed output diverged from single-host run\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+	st := c.Stats()
+	if st.RemoteShards == 0 {
+		t.Fatalf("no shards were computed remotely: %+v", st)
+	}
+	if st.LocalShards != 0 {
+		t.Logf("note: %d shards fell back to local", st.LocalShards)
+	}
+}
+
+// TestWorkerKilledMidCampaign: a worker dying with shards leased must
+// not lose, duplicate, or reorder anything — the leases expire, the
+// shards reassign, and the output stays bit-identical.
+func TestWorkerKilledMidCampaign(t *testing.T) {
+	c := startCoordinator(t)
+	kill := startWorker(t, c.Addr().String())
+	startWorker(t, c.Addr().String())
+	startWorker(t, c.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.AwaitWorkers(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill one worker shortly after the campaign starts, while it almost
+	// certainly holds leases.
+	timer := time.AfterFunc(30*time.Millisecond, kill)
+	defer timer.Stop()
+	got := distributedJSON(t, c, "fig5")
+
+	if want := goldenJSON(t, "fig5"); !bytes.Equal(got, want) {
+		t.Fatal("output diverged after mid-campaign worker death")
+	}
+	if st := c.Stats(); st.RemoteShards == 0 {
+		t.Fatalf("no shards were computed remotely: %+v", st)
+	}
+}
+
+// TestAllWorkersKilledFallsBackToLocal: when the whole pool dies
+// mid-campaign the coordinator must finish the sweep itself, still
+// bit-identically.
+func TestAllWorkersKilledFallsBackToLocal(t *testing.T) {
+	c := startCoordinator(t)
+	kills := []func(){
+		startWorker(t, c.Addr().String()),
+		startWorker(t, c.Addr().String()),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.AwaitWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	timer := time.AfterFunc(20*time.Millisecond, func() {
+		for _, kill := range kills {
+			kill()
+		}
+	})
+	defer timer.Stop()
+	got := distributedJSON(t, c, "fig5")
+
+	if want := goldenJSON(t, "fig5"); !bytes.Equal(got, want) {
+		t.Fatal("output diverged after total pool loss")
+	}
+	if st := c.Stats(); st.LocalShards == 0 {
+		// The pool died 20ms in; at least the tail must have run locally.
+		t.Fatalf("expected local fallback shards after pool drain: %+v", st)
+	}
+}
+
+// TestNoWorkersRunsLocally: a coordinator with an empty pool degrades to
+// a plain local run.
+func TestNoWorkersRunsLocally(t *testing.T) {
+	c := startCoordinator(t)
+	got := distributedJSON(t, c, "fig5")
+	if want := goldenJSON(t, "fig5"); !bytes.Equal(got, want) {
+		t.Fatal("workerless coordinator output diverged from plain local run")
+	}
+	st := c.Stats()
+	if st.RemoteShards != 0 || st.LocalShards == 0 {
+		t.Fatalf("expected pure local execution: %+v", st)
+	}
+}
+
+// TestChaosDropDupCorrupt: workers behind a seeded chaos proxy that
+// drops, duplicates, delays, and corrupts frames. Whatever the weather
+// does, the output must stay bit-identical — corrupt frames rejected,
+// duplicates deduplicated, drops absorbed by lease reassignment.
+func TestChaosDropDupCorrupt(t *testing.T) {
+	c := startCoordinator(t)
+	chaos := &chaostest.RandomChaos{
+		Seed:     42,
+		PDrop:    0.05,
+		PDup:     0.10,
+		PCorrupt: 0.10,
+		PDelay:   0.20,
+		MaxDelay: 5 * time.Millisecond,
+	}
+	proxy, err := chaostest.New(c.Addr().String(), chaos.Policy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	startWorker(t, proxy.Addr())
+	startWorker(t, proxy.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.AwaitWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	got := distributedJSON(t, c, "fig5")
+	if want := goldenJSON(t, "fig5"); !bytes.Equal(got, want) {
+		t.Fatal("output diverged under frame chaos")
+	}
+	t.Logf("chaos stats: %+v", c.Stats())
+}
+
+// TestHardDisconnectResume: the proxy kills the worker's connection by
+// desynchronizing the stream every few frames. The worker must reconnect,
+// resume its session by token, re-deliver results computed while
+// disconnected, and the campaign must still match the golden run.
+func TestHardDisconnectResume(t *testing.T) {
+	c := startCoordinator(t)
+	policy := func(dir chaostest.Dir, n int, frame []byte) chaostest.Verdict {
+		// Corrupt the stream toward the worker after a handful of frames
+		// on every connection: a rolling sequence of hard disconnects.
+		if dir == chaostest.ToClient && n == 6 {
+			return chaostest.Verdict{Action: chaostest.CorruptHeader}
+		}
+		return chaostest.Verdict{}
+	}
+	proxy, err := chaostest.New(c.Addr().String(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	startWorker(t, proxy.Addr())
+	startWorker(t, proxy.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.AwaitWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	got := distributedJSON(t, c, "fig5")
+	if want := goldenJSON(t, "fig5"); !bytes.Equal(got, want) {
+		t.Fatal("output diverged across forced reconnects")
+	}
+	st := c.Stats()
+	if st.SessionsResumed == 0 {
+		t.Fatalf("expected session resumes under rolling disconnects: %+v", st)
+	}
+	t.Logf("resume stats: %+v", st)
+}
+
+// TestTruncatedMidFrameConnection: a connection cut mid-frame (a crash
+// during a write) must not corrupt the campaign.
+func TestTruncatedMidFrameConnection(t *testing.T) {
+	c := startCoordinator(t)
+	policy := func(dir chaostest.Dir, n int, frame []byte) chaostest.Verdict {
+		if dir == chaostest.ToServer && n == 4 {
+			return chaostest.Verdict{Action: chaostest.Truncate}
+		}
+		return chaostest.Verdict{}
+	}
+	proxy, err := chaostest.New(c.Addr().String(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	startWorker(t, proxy.Addr())
+	// A second worker on a clean link keeps the campaign from depending
+	// entirely on the flaky one.
+	startWorker(t, c.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.AwaitWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	got := distributedJSON(t, c, "fig5")
+	if want := goldenJSON(t, "fig5"); !bytes.Equal(got, want) {
+		t.Fatal("output diverged across a mid-frame connection cut")
+	}
+}
+
+// TestDistributedMultiStageExperiment: fig7 runs one engine stage per
+// benchmark app with machine-dependent plans, and its shard type is
+// unexported (not wireable), so this also drives the JobError → poisoned
+// tag → local-compute degradation path end to end. The params override
+// exercises the params-on-the-wire plumbing and trims the budget: two
+// apps at a dozen trials instead of three at the full quick tier.
+func TestDistributedMultiStageExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-stage distributed run is the slowest e2e case")
+	}
+	params := json.RawMessage(`[{"Trials": 12, "Rows": 512}, {"Trials": 12, "Rows": 512}]`)
+	runner := func() *exp.Runner {
+		r := testRunner()
+		r.Params = params
+		return r
+	}
+
+	c := startCoordinator(t)
+	for i := 0; i < 3; i++ {
+		startWorker(t, c.Addr().String())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.AwaitWorkers(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Run(ctx, "fig7", runner())
+	if err != nil {
+		t.Fatalf("distributed fig7: %v", err)
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localRes, err := exp.Run(context.Background(), "fig7", runner())
+	if err != nil {
+		t.Fatalf("local fig7: %v", err)
+	}
+	want, err := localRes.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("multi-stage distributed output diverged from single-host run")
+	}
+	if st := c.Stats(); st.JobErrors == 0 || st.LocalShards == 0 {
+		t.Fatalf("expected JobError-driven local degradation for fig7's unexported shard type: %+v", st)
+	}
+}
+
+// TestCancelledCampaignReleasesPromptly: killing the campaign context
+// must unwind the distributed run quickly, not hang on in-flight leases.
+func TestCancelledCampaignReleasesPromptly(t *testing.T) {
+	c := startCoordinator(t)
+	startWorker(t, c.Addr().String())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Run(ctx, "fig5", testRunner())
+	if err == nil {
+		// The run can legitimately win the race and finish; only a hang
+		// is a failure.
+		return
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled campaign took %v to unwind", elapsed)
+	}
+}

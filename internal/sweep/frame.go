@@ -1,0 +1,257 @@
+// Package sweep is the fault-tolerant multi-host transport of the
+// experiment registry: a coordinator fans the Monte-Carlo shards of any
+// registered campaign out to remote workers over a length-prefixed,
+// checksummed frame protocol, and merges the returned shard payloads in
+// shard order — bit-identical to a single-host mc.RunEnv run at any
+// worker count and under any churn schedule.
+//
+// Robustness is the design center, because a single lost or duplicated
+// shard silently biases a 1e9-sample CDF:
+//
+//   - every frame is validated (magic, version, type, bounded length,
+//     payload CRC) before a byte of it is trusted; corrupt payloads are
+//     rejected without killing the session, desynchronized streams drop
+//     only the connection;
+//   - every dispatched shard holds a lease refreshed by worker
+//     heartbeats; expired leases reassign the shard, and results are
+//     deduplicated by job ID so a slow worker's late answer can never
+//     double-merge;
+//   - workers reconnect with jittered exponential backoff and resume
+//     their session by token, re-delivering results computed while
+//     disconnected;
+//   - when the worker pool drains to zero the coordinator finishes the
+//     campaign locally.
+package sweep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire constants. The frame header is:
+//
+//	offset 0: magic 0xFA 0x51 ("FAult-mem Sweep, 1 family")
+//	offset 2: protocol version (1 byte)
+//	offset 3: message type (1 byte)
+//	offset 4: payload length (uint32, big endian)
+//	offset 8: payload CRC-32 (IEEE, big endian)
+//	offset 12: payload
+const (
+	magic0, magic1 = 0xFA, 0x51
+	// ProtocolVersion is bumped on any incompatible frame or payload
+	// change; a coordinator rejects other versions at the frame layer.
+	ProtocolVersion = 1
+	headerSize      = 12
+	// MaxFramePayload bounds a single frame. A shard result is at most a
+	// few hundred KB of accumulator state at paper-scale budgets; 64 MB
+	// leaves two orders of magnitude of headroom while making a corrupt
+	// length field detectable before any allocation happens.
+	MaxFramePayload = 64 << 20
+)
+
+// MsgType enumerates the protocol's frame types.
+type MsgType byte
+
+const (
+	// MsgHello opens a connection (worker -> coordinator): an empty token
+	// requests a new session, a previous token requests session resume.
+	MsgHello MsgType = iota + 1
+	// MsgWelcome acknowledges Hello (coordinator -> worker) and carries
+	// the session token the worker must present on reconnect.
+	MsgWelcome
+	// MsgJob assigns one shard of a campaign to a worker.
+	MsgJob
+	// MsgResult delivers a computed shard payload back to the coordinator.
+	MsgResult
+	// MsgJobError reports that a worker could not compute an assigned
+	// shard (unencodable shard type, plan mismatch, experiment error).
+	MsgJobError
+	// MsgHeartbeat refreshes the session and the leases of the in-flight
+	// jobs it lists; the coordinator echoes an empty heartbeat as a pong.
+	MsgHeartbeat
+	// MsgCancel tells a worker to abandon the listed jobs (all in-flight
+	// jobs when the list is empty).
+	MsgCancel
+	// MsgDone tells a worker the coordinator is finished for good; the
+	// worker exits cleanly instead of reconnecting.
+	MsgDone
+	msgTypeEnd
+)
+
+func (t MsgType) valid() bool { return t >= MsgHello && t < msgTypeEnd }
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgWelcome:
+		return "welcome"
+	case MsgJob:
+		return "job"
+	case MsgResult:
+		return "result"
+	case MsgJobError:
+		return "joberror"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgCancel:
+		return "cancel"
+	case MsgDone:
+		return "done"
+	default:
+		return fmt.Sprintf("type(%d)", byte(t))
+	}
+}
+
+// FrameError is a frame-layer validation failure. Fatal errors mean the
+// byte stream can no longer be trusted to be frame-aligned (bad magic,
+// bad version, oversized length, truncation mid-frame): the receiver
+// must drop the connection — the session survives and the peer
+// reconnects. Non-fatal errors (checksum mismatch, unknown type) consumed
+// a complete, well-delimited frame: the receiver rejects the frame and
+// keeps the connection.
+type FrameError struct {
+	Fatal  bool
+	Reason string
+}
+
+func (e *FrameError) Error() string {
+	kind := "recoverable"
+	if e.Fatal {
+		kind = "fatal"
+	}
+	return fmt.Sprintf("sweep: %s frame error: %s", kind, e.Reason)
+}
+
+// AppendFrame appends one encoded frame to dst and returns the extended
+// slice. It panics on an oversized payload — callers bound payload sizes
+// before framing.
+func AppendFrame(dst []byte, t MsgType, payload []byte) []byte {
+	if len(payload) > MaxFramePayload {
+		panic(fmt.Sprintf("sweep: oversized %v frame: %d bytes", t, len(payload)))
+	}
+	var hdr [headerSize]byte
+	hdr[0], hdr[1] = magic0, magic1
+	hdr[2] = ProtocolVersion
+	hdr[3] = byte(t)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one frame to w in a single Write call, so concurrent
+// writers serialized by a mutex never interleave partial frames.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	buf := AppendFrame(make([]byte, 0, headerSize+len(payload)), t, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// parseHeader validates the fixed header and returns the declared type
+// payload length, and checksum. Errors are always fatal: a header that
+// does not parse means the stream is not frame-aligned.
+func parseHeader(hdr []byte) (t MsgType, length int, sum uint32, err error) {
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return 0, 0, 0, &FrameError{Fatal: true, Reason: fmt.Sprintf("bad magic %#02x%02x", hdr[0], hdr[1])}
+	}
+	if hdr[2] != ProtocolVersion {
+		return 0, 0, 0, &FrameError{Fatal: true, Reason: fmt.Sprintf("unsupported protocol version %d", hdr[2])}
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > MaxFramePayload {
+		return 0, 0, 0, &FrameError{Fatal: true, Reason: fmt.Sprintf("oversized frame: %d bytes", n)}
+	}
+	return MsgType(hdr[3]), int(n), binary.BigEndian.Uint32(hdr[8:12]), nil
+}
+
+// ParseFrame parses one frame from the front of b. It returns the frame's
+// type and payload plus the number of bytes consumed. An incomplete
+// buffer returns io.ErrUnexpectedEOF (n = 0): the caller needs more
+// bytes. Validation failures return a *FrameError; for non-fatal ones
+// (bad checksum, unknown type) n still reports the full frame size, so a
+// streaming caller can skip the rejected frame and stay aligned.
+func ParseFrame(b []byte) (t MsgType, payload []byte, n int, err error) {
+	if len(b) < headerSize {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	t, length, sum, err := parseHeader(b[:headerSize])
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if len(b) < headerSize+length {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	n = headerSize + length
+	payload = b[headerSize:n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, n, &FrameError{Reason: fmt.Sprintf("%v frame checksum mismatch", t)}
+	}
+	if !t.valid() {
+		return 0, nil, n, &FrameError{Reason: fmt.Sprintf("unknown frame type %d", byte(t))}
+	}
+	return t, payload, n, nil
+}
+
+// ReadFrame reads and validates one frame from r. A clean EOF at a frame
+// boundary returns io.EOF. Fatal *FrameErrors (desynchronized stream,
+// truncation mid-frame) require the caller to drop the connection;
+// non-fatal ones consumed exactly one complete frame, and the caller may
+// reject it and keep reading.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, &FrameError{Fatal: true, Reason: fmt.Sprintf("truncated header: %v", err)}
+	}
+	t, length, sum, err := parseHeader(hdr[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, &FrameError{Fatal: true, Reason: fmt.Sprintf("truncated %v payload: %v", t, err)}
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, &FrameError{Reason: fmt.Sprintf("%v frame checksum mismatch", t)}
+	}
+	if !t.valid() {
+		return 0, nil, &FrameError{Reason: fmt.Sprintf("unknown frame type %d", byte(t))}
+	}
+	return t, payload, nil
+}
+
+// ReadRawFrame reads one frame and returns its raw bytes (header plus
+// payload) without verifying the checksum or type — the tap the chaos
+// proxy uses to forward, corrupt, or truncate whole frames while staying
+// frame-aligned itself. Header-shape failures are returned as-is.
+func ReadRawFrame(r io.Reader) ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, &FrameError{Fatal: true, Reason: fmt.Sprintf("truncated header: %v", err)}
+	}
+	_, length, _, err := parseHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, headerSize+length)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerSize:]); err != nil {
+		return nil, &FrameError{Fatal: true, Reason: fmt.Sprintf("truncated payload: %v", err)}
+	}
+	return buf, nil
+}
+
+// IsFatalFrameError reports whether err is a frame error that requires
+// dropping the connection (the session itself survives).
+func IsFatalFrameError(err error) bool {
+	fe, ok := err.(*FrameError)
+	return ok && fe.Fatal
+}

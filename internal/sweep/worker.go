@@ -1,0 +1,490 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faultmem/internal/exp"
+	"faultmem/internal/mc"
+)
+
+// WorkerConfig tunes a worker's liveness clocks. The zero value selects
+// production defaults; tests shrink everything to milliseconds.
+type WorkerConfig struct {
+	// Heartbeat is the interval between lease-refreshing heartbeats
+	// (default 1s). It must be comfortably below the coordinator's Lease
+	// or healthy shards get reassigned mid-compute.
+	Heartbeat time.Duration
+	// PongTimeout is how long the connection may stay silent (no pong,
+	// no job, nothing) before the worker declares it dead and reconnects
+	// — the defense against a black-holed-but-open TCP connection
+	// (default 4x Heartbeat).
+	PongTimeout time.Duration
+	// ReconnectMin/ReconnectMax bound the jittered exponential backoff
+	// between connection attempts (defaults 100ms / 5s).
+	ReconnectMin, ReconnectMax time.Duration
+	// LocalWorkers caps the worker's compute parallelism across all
+	// in-flight shards (default GOMAXPROCS).
+	LocalWorkers int
+	// Logf, when non-nil, receives one line per connection event.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.PongTimeout <= 0 {
+		c.PongTimeout = 4 * c.Heartbeat
+	}
+	if c.ReconnectMin <= 0 {
+		c.ReconnectMin = 100 * time.Millisecond
+	}
+	if c.ReconnectMax <= 0 {
+		c.ReconnectMax = 5 * time.Second
+	}
+	if c.ReconnectMax < c.ReconnectMin {
+		c.ReconnectMax = c.ReconnectMin
+	}
+	c.LocalWorkers = mc.Workers(c.LocalWorkers)
+	return c
+}
+
+// worker is the client side of the sweep protocol: it computes assigned
+// shards by replaying their campaign, survives coordinator restarts and
+// network churn by reconnecting with backoff and resuming its session,
+// and buffers results computed while disconnected for redelivery.
+type worker struct {
+	cfg WorkerConfig
+
+	mu       sync.Mutex
+	token    string // session token; empty until the first Welcome
+	conn     net.Conn
+	inflight map[uint64]context.CancelFunc
+	pending  []Message // results awaiting a live connection
+
+	sendMu      sync.Mutex
+	lastInbound atomic.Int64 // unix nanos of the last valid frame
+	sem         chan struct{}
+	wg          sync.WaitGroup
+}
+
+// RunWorker connects to a coordinator at addr and serves shard jobs until
+// the coordinator says Done (returns nil) or ctx dies (returns ctx.Err()).
+// Connection loss is not an exit condition: the worker reconnects with
+// jittered exponential backoff, resumes its session by token, and
+// re-delivers any results it computed while disconnected.
+func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
+	w := &worker{
+		cfg:      cfg.withDefaults(),
+		inflight: map[uint64]context.CancelFunc{},
+		sem:      make(chan struct{}, cfg.withDefaults().LocalWorkers),
+	}
+	defer w.wg.Wait()
+	defer w.cancelJobs(nil)
+	backoff := w.cfg.ReconnectMin
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("sweep worker: dial %s: %v (retrying in ~%v)", addr, err, backoff)
+			if !sleepCtx(ctx, jitter(backoff)) {
+				return ctx.Err()
+			}
+			backoff *= 2
+			if backoff > w.cfg.ReconnectMax {
+				backoff = w.cfg.ReconnectMax
+			}
+			continue
+		}
+		finished, err := w.serveConn(ctx, conn)
+		if finished {
+			return err
+		}
+		// The connection died but the sweep may still be on: retry from
+		// the floor (we just had a working link; the jitter still spreads
+		// a thundering herd of restarted workers).
+		backoff = w.cfg.ReconnectMin
+		if !sleepCtx(ctx, jitter(backoff)) {
+			return ctx.Err()
+		}
+	}
+}
+
+// jitter spreads a backoff delay over [d/2, d] so a fleet of workers
+// restarted together does not reconnect in lockstep.
+func jitter(d time.Duration) time.Duration {
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// sleepCtx sleeps d; reports false if ctx died first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// serveConn runs one connection: handshake (new session or token
+// resume), pending-result flush, then the job loop. It reports finished
+// = true only on a clean Done or a dead ctx; everything else means
+// "reconnect and carry on".
+func (w *worker) serveConn(ctx context.Context, conn net.Conn) (finished bool, err error) {
+	defer conn.Close()
+
+	w.mu.Lock()
+	token := w.token
+	w.mu.Unlock()
+	if err := WriteFrame(conn, MsgHello, (&Hello{Token: token}).encode()); err != nil {
+		return false, err
+	}
+	t, payload, err := ReadFrame(conn)
+	if err != nil {
+		return false, err
+	}
+	if t != MsgWelcome {
+		return false, fmt.Errorf("sweep worker: handshake got %v, want welcome", t)
+	}
+	m, err := DecodeMessage(t, payload)
+	if err != nil {
+		return false, err
+	}
+	welcome := m.(*Welcome)
+
+	w.mu.Lock()
+	resumed := w.token != "" && w.token == welcome.Token
+	w.token = welcome.Token
+	w.conn = conn
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		if w.conn == conn {
+			w.conn = nil
+		}
+		w.mu.Unlock()
+	}()
+	w.lastInbound.Store(time.Now().UnixNano())
+	if resumed {
+		w.logf("sweep worker: session %s resumed", welcome.Token)
+	} else {
+		w.logf("sweep worker: session %s opened", welcome.Token)
+	}
+
+	// Results computed while disconnected go first — the slow worker's
+	// late answer is the coordinator's problem to dedup, not ours to drop.
+	w.flushPending()
+
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go w.heartbeatLoop(conn, hbStop)
+	go func() {
+		// Unblock the read loop if ctx dies mid-read.
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-hbStop:
+		}
+	}()
+
+	for {
+		t, payload, err := ReadFrame(conn)
+		if ctx.Err() != nil {
+			return true, ctx.Err()
+		}
+		if err != nil {
+			var fe *FrameError
+			if errors.As(err, &fe) && !fe.Fatal {
+				// Corrupt but well-delimited: skip the frame, keep the
+				// connection.
+				w.logf("sweep worker: rejected corrupt frame: %v", err)
+				continue
+			}
+			if err != io.EOF {
+				w.logf("sweep worker: connection lost: %v", err)
+			}
+			return false, err
+		}
+		w.lastInbound.Store(time.Now().UnixNano())
+		msg, err := DecodeMessage(t, payload)
+		if err != nil {
+			w.logf("sweep worker: rejected corrupt payload: %v", err)
+			continue
+		}
+		switch m := msg.(type) {
+		case *Job:
+			w.startJob(ctx, m)
+		case *Heartbeat:
+			// Pong: lastInbound already refreshed above.
+		case *Cancel:
+			w.cancelJobs(m.IDs)
+		case *Done:
+			w.logf("sweep worker: coordinator done, exiting")
+			w.cancelJobs(nil)
+			return true, nil
+		default:
+			w.logf("sweep worker: unexpected %v frame ignored", t)
+		}
+	}
+}
+
+// heartbeatLoop refreshes the leases of in-flight jobs and watches for a
+// silent connection: if nothing valid arrives within PongTimeout the link
+// is presumed black-holed and closed, which sends the read loop into the
+// reconnect path.
+func (w *worker) heartbeatLoop(conn net.Conn, stop <-chan struct{}) {
+	t := time.NewTicker(w.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		silent := time.Since(time.Unix(0, w.lastInbound.Load()))
+		if silent > w.cfg.PongTimeout {
+			w.logf("sweep worker: no traffic for %v, dropping connection", silent)
+			conn.Close()
+			return
+		}
+		w.mu.Lock()
+		ids := make([]uint64, 0, len(w.inflight))
+		for id := range w.inflight {
+			ids = append(ids, id)
+		}
+		w.mu.Unlock()
+		if err := w.sendMsg(&Heartbeat{InFlight: ids}); err != nil {
+			conn.Close()
+			return
+		}
+	}
+}
+
+// sendMsg writes one message on the current connection.
+func (w *worker) sendMsg(m Message) error {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	w.mu.Lock()
+	conn := w.conn
+	w.mu.Unlock()
+	if conn == nil {
+		return errors.New("sweep worker: not connected")
+	}
+	return WriteFrame(conn, m.msgType(), m.payload())
+}
+
+// deliver sends a result, buffering it for the next successful handshake
+// when the connection is down.
+func (w *worker) deliver(m Message) {
+	if err := w.sendMsg(m); err != nil {
+		w.mu.Lock()
+		w.pending = append(w.pending, m)
+		w.mu.Unlock()
+	}
+}
+
+// flushPending re-delivers results buffered across a disconnect.
+func (w *worker) flushPending() {
+	w.mu.Lock()
+	p := w.pending
+	w.pending = nil
+	w.mu.Unlock()
+	for i, m := range p {
+		if err := w.sendMsg(m); err != nil {
+			w.mu.Lock()
+			w.pending = append(p[i:], w.pending...)
+			w.mu.Unlock()
+			return
+		}
+	}
+	if len(p) > 0 {
+		w.logf("sweep worker: re-delivered %d buffered results", len(p))
+	}
+}
+
+// startJob begins computing one assigned shard. Duplicate assignments of
+// an in-flight job (a reassignment that landed back here) are ignored —
+// the running computation will answer; a duplicate of a finished job is
+// simply recomputed, which is safe because shards are deterministic.
+func (w *worker) startJob(ctx context.Context, jm *Job) {
+	w.mu.Lock()
+	if _, dup := w.inflight[jm.ID]; dup {
+		w.mu.Unlock()
+		return
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	w.inflight[jm.ID] = cancel
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		defer cancel()
+		msg := w.computeJob(jctx, jm)
+		w.mu.Lock()
+		delete(w.inflight, jm.ID)
+		w.mu.Unlock()
+		if msg != nil {
+			w.deliver(msg)
+		}
+	}()
+}
+
+// cancelJobs aborts the listed in-flight jobs (all of them when ids is
+// empty).
+func (w *worker) cancelJobs(ids []uint64) {
+	w.mu.Lock()
+	if len(ids) == 0 {
+		for _, cancel := range w.inflight {
+			cancel()
+		}
+	} else {
+		for _, id := range ids {
+			if cancel, ok := w.inflight[id]; ok {
+				cancel()
+			}
+		}
+	}
+	w.mu.Unlock()
+}
+
+// computeJob replays the job's campaign for its one shard and packages
+// the outcome. A nil return means the job was cancelled and nobody wants
+// the answer.
+func (w *worker) computeJob(ctx context.Context, jm *Job) Message {
+	data, err := w.replayShard(ctx, jm)
+	if ctx.Err() != nil {
+		return nil
+	}
+	if err != nil {
+		return &JobError{ID: jm.ID, Msg: err.Error()}
+	}
+	return &Result{ID: jm.ID, Shard: jm.Shard, Data: data}
+}
+
+// replayShard is the capture half of the distribution model: re-run the
+// campaign the job describes — same experiment, seed, budget tier, and
+// parameter overrides, so every engine plan matches the coordinator's —
+// with an executor that skips every shard except the requested one,
+// computes that one, captures its encoding, and aborts the rest of the
+// replay. Engine runs of the campaign other than the job's (earlier
+// stages of a multi-stage experiment) run in full, because later stages
+// may depend on their results; runs after the capture are cancelled away.
+func (w *worker) replayShard(ctx context.Context, jm *Job) ([]byte, error) {
+	r := &exp.Runner{
+		Workers: jm.Workers,
+		Quick:   jm.Quick,
+		Accum:   jm.Accum,
+		Bins:    jm.Bins,
+	}
+	if jm.HasSeed {
+		seed := jm.Seed
+		r.Seed = &seed
+	}
+	if len(jm.Params) > 0 {
+		r.Params = json.RawMessage(jm.Params)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var mu sync.Mutex
+	var captured []byte
+	var capErr error
+	r.Exec = func(sj mc.ShardJob) (any, error) {
+		if sj.Tag != jm.Tag {
+			// A different engine run of the same campaign — typically an
+			// earlier stage whose results feed the one we were asked for.
+			// Compute it fully (gated by the worker's parallelism cap).
+			select {
+			case w.sem <- struct{}{}:
+			case <-sj.Ctx.Done():
+				return nil, sj.Ctx.Err()
+			}
+			defer func() { <-w.sem }()
+			return sj.Run(), nil
+		}
+		if sj.Shards != jm.Shards {
+			// The local plan disagrees with the coordinator's: shard
+			// indices would mean different slices of work. Refuse rather
+			// than return a shard of the wrong partition.
+			err := fmt.Errorf("sweep worker: plan mismatch for %q: job wants shard %d of %d, local plan has %d shards",
+				jm.Tag, jm.Shard, jm.Shards, sj.Shards)
+			mu.Lock()
+			if capErr == nil {
+				capErr = err
+			}
+			mu.Unlock()
+			cancel()
+			return nil, err
+		}
+		if sj.Shard != jm.Shard {
+			return nil, mc.ErrShardSkipped
+		}
+		select {
+		case w.sem <- struct{}{}:
+		case <-sj.Ctx.Done():
+			return nil, sj.Ctx.Err()
+		}
+		v := func() any {
+			defer func() { <-w.sem }()
+			return sj.Run()
+		}()
+		b, err := sj.Encode(v)
+		mu.Lock()
+		if err != nil {
+			if capErr == nil {
+				capErr = err
+			}
+		} else {
+			captured = b
+		}
+		mu.Unlock()
+		// The requested shard is in hand (or provably unshippable):
+		// abort the rest of the replay instead of computing shards nobody
+		// asked for.
+		cancel()
+		return v, err
+	}
+	_, runErr := exp.Run(runCtx, jm.Experiment, r)
+	mu.Lock()
+	defer mu.Unlock()
+	if capErr != nil {
+		return nil, capErr
+	}
+	// Success requires the capture AND a live job context: a cancelled
+	// replay can surface as a zero-value result from experiments that
+	// swallow inner context errors, and those bits must never be merged.
+	if captured != nil && ctx.Err() == nil {
+		return captured, nil
+	}
+	if runErr == nil {
+		return nil, fmt.Errorf("sweep worker: replay of %s finished without reaching shard %d of run %q",
+			jm.Experiment, jm.Shard, jm.Tag)
+	}
+	return nil, runErr
+}
