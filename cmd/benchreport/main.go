@@ -9,7 +9,9 @@
 // Each benchmark line becomes one record with the benchmark name and
 // the standard metrics (ns/op, plus B/op and allocs/op when -benchmem
 // is on). Unknown units are carried through verbatim under their unit
-// name, so custom b.ReportMetric series survive too.
+// name, so custom b.ReportMetric series survive too. -filter keeps only
+// records whose name matches a regexp, so one `go test -bench` run can
+// feed several reports.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -41,12 +44,27 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
+	filter := flag.String("filter", "", "keep only records whose name matches this regexp")
 	flag.Parse()
 
 	report, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
+	}
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: bad -filter: %v\n", err)
+			os.Exit(1)
+		}
+		kept := report.Results[:0]
+		for _, rec := range report.Results {
+			if re.MatchString(rec.Name) {
+				kept = append(kept, rec)
+			}
+		}
+		report.Results = kept
 	}
 	if len(report.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines on stdin")

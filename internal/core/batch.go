@@ -1,0 +1,85 @@
+package core
+
+import (
+	"faultmem/internal/mem"
+)
+
+// shiftTable precomputes ShiftForX for every FM-LUT entry value, so the
+// batch paths resolve a row's rotation with one table load instead of
+// re-deriving Eq. (2) per word. NumSegments is at most Width <= 64.
+func (s *Shuffled) shiftTable() (table [64]int) {
+	n := s.cfg.NumSegments()
+	for x := 0; x < n; x++ {
+		table[x] = s.cfg.ShiftForX(x)
+	}
+	return table
+}
+
+// WriteBatch stores src[i] at addr+i, applying each row's write-path
+// rotation before one bulk store — semantically identical to per-word
+// Write in ascending address order.
+func (s *Shuffled) WriteBatch(addr int, src []uint32) {
+	s.buf = growBuf(s.buf, len(src))
+	shifts := s.shiftTable()
+	x := s.lut.x[addr : addr+len(src)]
+	for i, v := range src {
+		s.buf[i] = s.cfg.RotateWrite(uint64(v), shifts[x[i]])
+	}
+	s.arr.WriteBatch(addr, s.buf)
+}
+
+// ReadBatch reads addr+i into dst[i]: one bulk fetch, then each row's
+// read-path rotation restoring the original bit order.
+func (s *Shuffled) ReadBatch(addr int, dst []uint32) {
+	s.buf = growBuf(s.buf, len(dst))
+	s.arr.ReadBatch(addr, s.buf)
+	shifts := s.shiftTable()
+	x := s.lut.x[addr : addr+len(dst)]
+	for i, w := range s.buf {
+		dst[i] = uint32(s.cfg.RotateRead(w, shifts[x[i]]))
+	}
+}
+
+// ImageKey identifies the fault-independent part of the encode
+// transform, which for bit-shuffling is the identity: the per-row
+// rotation depends on the programmed FM-LUT (i.e. on the fault map), so
+// it is applied by WriteImage at store time and images survive Reset.
+func (s *Shuffled) ImageKey() string { return mem.ImageKeyRaw32 }
+
+// EncodeImage widens src into img (see ImageKey: the physical image
+// before the fault-dependent rotation is the datum itself).
+func (s *Shuffled) EncodeImage(img []uint64, src []uint32) {
+	if len(img) != len(src) {
+		panic("core: image length mismatch")
+	}
+	for i, v := range src {
+		img[i] = uint64(v)
+	}
+}
+
+// WriteImage stores a precomputed image at addr+i, applying the current
+// FM-LUT's per-row rotations and the array's stuck-at masks. img is not
+// modified.
+func (s *Shuffled) WriteImage(addr int, img []uint64) {
+	s.buf = growBuf(s.buf, len(img))
+	shifts := s.shiftTable()
+	x := s.lut.x[addr : addr+len(img)]
+	for i, w := range img {
+		s.buf[i] = s.cfg.RotateWrite(w, shifts[x[i]])
+	}
+	s.arr.WriteBatch(addr, s.buf)
+}
+
+// growBuf returns a length-n scratch slice, reusing buf's storage when
+// it is large enough.
+func growBuf(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+var (
+	_ mem.BatchMemory = (*Shuffled)(nil)
+	_ mem.ImageWriter = (*Shuffled)(nil)
+)

@@ -19,6 +19,7 @@ type Shuffled struct {
 	cfg Config
 	arr *sram.Array
 	lut *FMLUT
+	buf []uint64 // batch-transfer staging scratch
 }
 
 // NewShuffled builds a bit-shuffling memory over rows words of cfg.Width

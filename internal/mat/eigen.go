@@ -24,6 +24,27 @@ type EigenScratch struct {
 	ritz, ritzP []float64
 	topVals     []float64
 	topVecs     *Dense
+
+	// basisValid records whether xt holds the converged subspace basis
+	// of the last top-k decomposition (false when it fell back to the
+	// full Jacobi path); see Subspace.
+	basisValid bool
+}
+
+// Subspace returns a copy of the subspace-iteration basis that produced
+// the last EigenSymTopK*In result on this scratch — p rows of d entries
+// each, orthonormal, spanning the computed dominant subspace — or nil
+// when the last decomposition took the full-Jacobi fallback (or none has
+// run). Feeding it back as the warm start of a later decomposition of a
+// nearby matrix cuts the iteration count to the few rounds needed to
+// track the perturbation.
+func (s *EigenScratch) Subspace() *Dense {
+	if !s.basisValid {
+		return nil
+	}
+	out := NewDense(s.xt.rows, s.xt.cols)
+	out.Copy(s.xt)
+	return out
 }
 
 // EigenSym computes the full eigendecomposition of a symmetric matrix
@@ -46,6 +67,7 @@ func EigenSymIn(s *EigenScratch, a *Dense) (values []float64, vectors *Dense) {
 	if s == nil {
 		s = &EigenScratch{}
 	}
+	s.basisValid = false
 	n := checkSquareSym(a)
 
 	s.w = Reshape(s.w, n, n)
@@ -249,9 +271,28 @@ func EigenSymTopK(a *Dense, k int) (values []float64, vectors *Dense) {
 // repeated decompositions of same-sized problems allocation-free. A
 // nil s allocates fresh storage.
 func EigenSymTopKIn(s *EigenScratch, a *Dense, k int) (values []float64, vectors *Dense) {
+	return EigenSymTopKWarmIn(s, a, k, nil)
+}
+
+// EigenSymTopKWarmIn is EigenSymTopKIn with a warm-started basis: the
+// rows of warmT (a row-basis as returned by EigenScratch.Subspace — each
+// row one d-vector) seed the leading rows of the start basis, and any
+// remaining rows are drawn from the same fixed SplitMix64 stream as the
+// cold start before the usual orthonormalization. warmT is not modified
+// and may be shared (read-only) across goroutines.
+//
+// The start basis is a pure function of (warmT, d, k): no randomness, no
+// dependence on call order — so a warm basis computed once per workload
+// preserves run-to-run and worker-count determinism of everything
+// downstream. A nil warmT, or one whose column count does not match a
+// (it was computed for a different problem), falls back to the cold
+// start. Convergence, fallbacks, and results obey the EigenSymTopK
+// contract either way; only the iteration count changes.
+func EigenSymTopKWarmIn(s *EigenScratch, a *Dense, k int, warmT *Dense) (values []float64, vectors *Dense) {
 	if s == nil {
 		s = &EigenScratch{}
 	}
+	s.basisValid = false
 	d := checkSquareSym(a)
 	if k < 1 || k > d {
 		panic(fmt.Sprintf("mat: EigenSymTopK k=%d outside [1,%d]", k, d))
@@ -275,12 +316,18 @@ func EigenSymTopKIn(s *EigenScratch, a *Dense, k int) (values []float64, vectors
 	s.ritz = growFloats(s.ritz, p)
 	s.ritzP = growFloats(s.ritzP, p)
 
-	// Deterministic start basis: a fixed SplitMix64 stream, so the
-	// decomposition — and everything downstream (Fig. 7 quality
+	// Deterministic start basis: warm rows first (when provided and
+	// shape-compatible), then a fixed SplitMix64 stream for the rest, so
+	// the decomposition — and everything downstream (Fig. 7 quality
 	// samples) — is identical run to run and worker count to worker
 	// count.
 	rngState := uint64(0x9e3779b97f4a7c15)
-	for i := range s.qt.data {
+	seeded := 0
+	if warmT != nil && warmT.cols == d {
+		seeded = min(warmT.rows, p)
+		copy(s.qt.data[:seeded*d], warmT.data[:seeded*d])
+	}
+	for i := seeded * d; i < len(s.qt.data); i++ {
 		s.qt.data[i] = splitmixUniform(&rngState)
 	}
 	orthonormalizeRows(s.qt, &rngState)
@@ -362,6 +409,7 @@ func EigenSymTopKIn(s *EigenScratch, a *Dense, k int) (values []float64, vectors
 			s.topVecs.data[i*k+j] = xj[i]
 		}
 	}
+	s.basisValid = true
 	return s.topVals, s.topVecs
 }
 

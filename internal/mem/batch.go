@@ -1,0 +1,340 @@
+package mem
+
+import (
+	"fmt"
+)
+
+// BatchMemory is a Word32 with bulk-transfer paths. WriteBatch and
+// ReadBatch are semantically identical to the equivalent per-word
+// Write/Read loop in ascending address order — the same fault
+// application, decode statistics, and access accounting — but amortize
+// the per-word interface call and apply fault masks (and SECDED
+// encode/decode) over whole row ranges. The word-at-a-time methods
+// remain the oracle the batch paths are tested against.
+type BatchMemory interface {
+	Word32
+	// WriteBatch stores src[i] at addr+i for every element.
+	WriteBatch(addr int, src []uint32)
+	// ReadBatch reads the word at addr+i into dst[i] for every element.
+	ReadBatch(addr int, dst []uint32)
+}
+
+// ImageWriter is a Word32 that can precompute the fault-independent
+// physical image of a block of words — for an ECC memory, the clean
+// codewords — so that repeated writes of the same data (the per-trial
+// dataset load of a Monte-Carlo campaign) skip the encode entirely and
+// reduce to a masked copy.
+//
+// EncodeImage is position-independent: img[i] depends only on src[i],
+// never on the address it will be stored at, so one image serves any
+// paging of the data. Anything address- or fault-dependent (stuck-at
+// masks, the FM-LUT shuffle rotation) is applied by WriteImage at store
+// time, which is why images stay valid across Reset/Reprogram.
+type ImageWriter interface {
+	Word32
+	// ImageKey identifies the encode transform: two memories with equal
+	// non-empty keys produce identical images for identical data, so the
+	// image can be cached per key and shared across instances. An empty
+	// key means imaging is unsupported (EncodeImage/WriteImage must not
+	// be called).
+	ImageKey() string
+	// EncodeImage fills img with the physical words a fault-free write
+	// of src would store. len(img) must equal len(src).
+	EncodeImage(img []uint64, src []uint32)
+	// WriteImage stores a precomputed image at addr+i, applying the same
+	// fault effects and access accounting as a WriteBatch of the source
+	// data. img is not modified.
+	WriteImage(addr int, img []uint64)
+}
+
+// ImageKeyRaw32 is the image key of memories whose physical word equals
+// the 32-bit datum (no check bits added by the encode transform).
+const ImageKeyRaw32 = "raw32"
+
+// growBuf returns a length-n scratch slice, reusing buf's storage when
+// it is large enough.
+func growBuf(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// checkImageLen panics unless img and src pair up one-to-one.
+func checkImageLen(img []uint64, src []uint32) {
+	if len(img) != len(src) {
+		panic(fmt.Sprintf("mem: image length %d vs data length %d", len(img), len(src)))
+	}
+}
+
+// --- Perfect ---
+
+// WriteBatch stores src[i] at addr+i.
+func (p *Perfect) WriteBatch(addr int, src []uint32) {
+	copy(p.data[addr:addr+len(src)], src)
+}
+
+// ReadBatch reads addr+i into dst[i].
+func (p *Perfect) ReadBatch(addr int, dst []uint32) {
+	copy(dst, p.data[addr:addr+len(dst)])
+}
+
+// ImageKey identifies the (identity) encode transform.
+func (p *Perfect) ImageKey() string { return ImageKeyRaw32 }
+
+// EncodeImage widens src into img (the physical word is the datum).
+func (p *Perfect) EncodeImage(img []uint64, src []uint32) {
+	checkImageLen(img, src)
+	for i, v := range src {
+		img[i] = uint64(v)
+	}
+}
+
+// WriteImage stores a precomputed image at addr+i.
+func (p *Perfect) WriteImage(addr int, img []uint64) {
+	dst := p.data[addr : addr+len(img)]
+	for i, w := range img {
+		dst[i] = uint32(w)
+	}
+}
+
+// --- Raw ---
+
+// WriteBatch stores src[i] at addr+i.
+func (r *Raw) WriteBatch(addr int, src []uint32) {
+	r.buf = growBuf(r.buf, len(src))
+	for i, v := range src {
+		r.buf[i] = uint64(v)
+	}
+	r.arr.WriteBatch(addr, r.buf)
+}
+
+// ReadBatch reads addr+i into dst[i].
+func (r *Raw) ReadBatch(addr int, dst []uint32) {
+	r.buf = growBuf(r.buf, len(dst))
+	r.arr.ReadBatch(addr, r.buf)
+	for i, w := range r.buf {
+		dst[i] = uint32(w)
+	}
+}
+
+// ImageKey identifies the (identity) encode transform.
+func (r *Raw) ImageKey() string { return ImageKeyRaw32 }
+
+// EncodeImage widens src into img (the physical word is the datum).
+func (r *Raw) EncodeImage(img []uint64, src []uint32) {
+	checkImageLen(img, src)
+	for i, v := range src {
+		img[i] = uint64(v)
+	}
+}
+
+// WriteImage stores a precomputed image at addr+i, subject to the
+// array's stuck-at masks.
+func (r *Raw) WriteImage(addr int, img []uint64) {
+	r.arr.WriteBatch(addr, img)
+}
+
+// --- ECC ---
+
+// WriteBatch encodes and stores src[i] at addr+i.
+func (e *ECC) WriteBatch(addr int, src []uint32) {
+	e.buf = growBuf(e.buf, len(src))
+	for i, v := range src {
+		e.buf[i] = uint64(v)
+	}
+	e.code.EncodeBatch(e.buf, e.buf)
+	e.arr.WriteBatch(addr, e.buf)
+}
+
+// ReadBatch decodes the words at addr+i into dst[i], tallying decode
+// outcomes exactly as per-word Read does.
+func (e *ECC) ReadBatch(addr int, dst []uint32) {
+	e.buf = growBuf(e.buf, len(dst))
+	e.arr.ReadBatch(addr, e.buf)
+	corrected, uncorrectable := e.code.DecodeBatch(e.buf, e.buf)
+	e.stats.Reads += uint64(len(dst))
+	e.stats.Corrected += corrected
+	e.stats.Uncorrectable += uncorrectable
+	for i, w := range e.buf {
+		dst[i] = uint32(w)
+	}
+}
+
+// ImageKey identifies the SECDED encode transform.
+func (e *ECC) ImageKey() string { return e.key }
+
+// EncodeImage fills img with the clean codewords of src.
+func (e *ECC) EncodeImage(img []uint64, src []uint32) {
+	checkImageLen(img, src)
+	for i, v := range src {
+		img[i] = uint64(v)
+	}
+	e.code.EncodeBatch(img, img)
+}
+
+// WriteImage stores precomputed codewords at addr+i, subject to the
+// array's stuck-at masks.
+func (e *ECC) WriteImage(addr int, img []uint64) {
+	e.arr.WriteBatch(addr, img)
+}
+
+// --- PECC ---
+
+// encodeImageInto fills img with the physical row images of src: raw
+// low bits, codeword of the protected high bits shifted above them.
+func (p *PECC) encodeImageInto(img []uint64, src []uint32) {
+	lb := uint(p.lowBits)
+	for i, v := range src {
+		img[i] = uint64(v >> lb)
+	}
+	p.code.EncodeBatch(img, img)
+	lowMask := uint64(1)<<lb - 1
+	for i, v := range src {
+		img[i] = uint64(v)&lowMask | img[i]<<lb
+	}
+}
+
+// WriteBatch stores src[i] at addr+i, encoding the protected high bits.
+func (p *PECC) WriteBatch(addr int, src []uint32) {
+	p.buf = growBuf(p.buf, len(src))
+	p.encodeImageInto(p.buf, src)
+	p.arr.WriteBatch(addr, p.buf)
+}
+
+// ReadBatch reads addr+i into dst[i]: raw low bits, decoded high bits,
+// tallying decode outcomes exactly as per-word Read does.
+func (p *PECC) ReadBatch(addr int, dst []uint32) {
+	p.buf = growBuf(p.buf, len(dst))
+	p.arr.ReadBatch(addr, p.buf)
+	lb := uint(p.lowBits)
+	lowMask := uint64(1)<<lb - 1
+	// Park the raw low halves in dst while the codewords decode in
+	// place, then weave the recovered high halves back in.
+	for i, w := range p.buf {
+		dst[i] = uint32(w & lowMask)
+		p.buf[i] = w >> lb
+	}
+	corrected, uncorrectable := p.code.DecodeBatch(p.buf, p.buf)
+	p.stats.Reads += uint64(len(dst))
+	p.stats.Corrected += corrected
+	p.stats.Uncorrectable += uncorrectable
+	for i, hi := range p.buf {
+		dst[i] |= uint32(hi) << lb
+	}
+}
+
+// ImageKey identifies the split raw/SECDED encode transform.
+func (p *PECC) ImageKey() string { return p.key }
+
+// EncodeImage fills img with the clean physical row images of src.
+func (p *PECC) EncodeImage(img []uint64, src []uint32) {
+	checkImageLen(img, src)
+	p.encodeImageInto(img, src)
+}
+
+// WriteImage stores precomputed row images at addr+i, subject to the
+// array's stuck-at masks.
+func (p *PECC) WriteImage(addr int, img []uint64) {
+	p.arr.WriteBatch(addr, img)
+}
+
+// --- Banked ---
+
+// eachBankRange walks the bank-aligned chunks of the global address
+// range [addr, addr+n), calling fn with the bank, its local offset, and
+// the chunk's position within the range.
+func (b *Banked) eachBankRange(addr, n int, fn func(bank Word32, off, start, chunk int)) {
+	for start := 0; start < n; {
+		bank := addr / b.perBank
+		off := addr % b.perBank
+		chunk := b.perBank - off
+		if rest := n - start; chunk > rest {
+			chunk = rest
+		}
+		fn(b.banks[bank], off, start, chunk)
+		addr += chunk
+		start += chunk
+	}
+}
+
+// WriteBatch stores src[i] at the global address addr+i, delegating to
+// each bank's batch path (or its scalar path when a bank lacks one).
+func (b *Banked) WriteBatch(addr int, src []uint32) {
+	b.eachBankRange(addr, len(src), func(bank Word32, off, start, chunk int) {
+		part := src[start : start+chunk]
+		if bm, ok := bank.(BatchMemory); ok {
+			bm.WriteBatch(off, part)
+			return
+		}
+		for i, v := range part {
+			bank.Write(off+i, v)
+		}
+	})
+}
+
+// ReadBatch reads the global address addr+i into dst[i].
+func (b *Banked) ReadBatch(addr int, dst []uint32) {
+	b.eachBankRange(addr, len(dst), func(bank Word32, off, start, chunk int) {
+		part := dst[start : start+chunk]
+		if bm, ok := bank.(BatchMemory); ok {
+			bm.ReadBatch(off, part)
+			return
+		}
+		for i := range part {
+			part[i] = bank.Read(off + i)
+		}
+	})
+}
+
+// ImageKey returns the banks' common image key, or "" when any bank
+// does not support imaging or the keys disagree (mixed-scheme banks
+// have no single encode transform).
+func (b *Banked) ImageKey() string {
+	first, ok := b.banks[0].(ImageWriter)
+	if !ok {
+		return ""
+	}
+	key := first.ImageKey()
+	if key == "" {
+		return ""
+	}
+	for _, bank := range b.banks[1:] {
+		iw, ok := bank.(ImageWriter)
+		if !ok || iw.ImageKey() != key {
+			return ""
+		}
+	}
+	return key
+}
+
+// EncodeImage fills img with the banks' common physical image of src.
+// Valid only when ImageKey is non-empty (all banks share the encode
+// transform, which is position-independent, so bank 0 images for all).
+func (b *Banked) EncodeImage(img []uint64, src []uint32) {
+	checkImageLen(img, src)
+	b.banks[0].(ImageWriter).EncodeImage(img, src)
+}
+
+// WriteImage stores a precomputed image at the global address addr+i.
+// Valid only when ImageKey is non-empty.
+func (b *Banked) WriteImage(addr int, img []uint64) {
+	b.eachBankRange(addr, len(img), func(bank Word32, off, start, chunk int) {
+		bank.(ImageWriter).WriteImage(off, img[start:start+chunk])
+	})
+}
+
+// Compile-time interface checks.
+var (
+	_ BatchMemory = (*Perfect)(nil)
+	_ BatchMemory = (*Raw)(nil)
+	_ BatchMemory = (*ECC)(nil)
+	_ BatchMemory = (*PECC)(nil)
+	_ BatchMemory = (*Banked)(nil)
+
+	_ ImageWriter = (*Perfect)(nil)
+	_ ImageWriter = (*Raw)(nil)
+	_ ImageWriter = (*ECC)(nil)
+	_ ImageWriter = (*PECC)(nil)
+	_ ImageWriter = (*Banked)(nil)
+)

@@ -17,6 +17,8 @@ type ECC struct {
 	arr   *sram.Array
 	code  *ecc.Code
 	stats Stats
+	key   string // precomputed ImageKey
+	buf   []uint64
 	// Reset scratch: cached data-bit codeword positions and a reusable
 	// translated-fault buffer.
 	dataPos []int
@@ -39,7 +41,7 @@ func NewECC(rows int, dataFaults, checkFaults fault.Map) (*ECC, error) {
 	if err := arr.SetFaults(translated); err != nil {
 		return nil, err
 	}
-	return &ECC{arr: arr, code: code, dataPos: code.DataPositions()}, nil
+	return &ECC{arr: arr, code: code, key: "ecc:" + code.Name(), dataPos: code.DataPositions()}, nil
 }
 
 // Reset reinstalls a new data-geometry fault map in place with
@@ -131,6 +133,8 @@ type PECC struct {
 	code    *ecc.Code
 	lowBits int
 	stats   Stats
+	key     string // precomputed ImageKey
+	buf     []uint64
 	// Reset scratch: cached data-bit codeword positions and a reusable
 	// translated-fault buffer.
 	dataPos []int
@@ -186,7 +190,7 @@ func NewPartialECC(rows, protectedMSBs int, dataFaults, checkFaults fault.Map) (
 	if err := arr.SetFaults(phys); err != nil {
 		return nil, err
 	}
-	return &PECC{arr: arr, code: code, lowBits: lowBits, dataPos: dataPos}, nil
+	return &PECC{arr: arr, code: code, lowBits: lowBits, key: "pecc:" + code.Name(), dataPos: dataPos}, nil
 }
 
 // Reset reinstalls a new data-geometry fault map in place with

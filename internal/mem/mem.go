@@ -71,6 +71,7 @@ func (p *Perfect) Words() int { return len(p.data) }
 // paper's comparisons. Faults corrupt data with nothing in the way.
 type Raw struct {
 	arr *sram.Array
+	buf []uint64 // batch-transfer staging scratch
 }
 
 // NewRaw builds an unprotected memory over rows words with the given

@@ -146,6 +146,16 @@ type Workspace struct {
 	words      []uint32
 	cachedRows int
 	cachedCols int
+
+	// Codeword-image cache: for each encode transform (mem.ImageWriter
+	// key) the physical image of the cached words, computed lazily once
+	// and shared by every memory with that key. The clean ECC encode is
+	// fault-independent, so images stay valid across Reset/Reprogram of
+	// the memories and are invalidated only when the dataset changes
+	// (EncodeDatasetInto).
+	images map[string][]uint64
+	// readBuf stages one page of batch reads.
+	readBuf []uint32
 }
 
 // RoundTripDatasetInto is RoundTripDataset on reusable buffers: the
@@ -218,6 +228,22 @@ func (c Codec) EncodeDatasetInto(ws *Workspace, x *mat.Dense, y []float64) {
 	}
 	ws.words = words
 	ws.cachedRows, ws.cachedCols = rows, cols
+	clear(ws.images) // cached images encode the previous dataset
+}
+
+// imageFor returns the physical image of the cached words under the
+// memory's encode transform, computing and caching it on first use.
+func (ws *Workspace) imageFor(iw mem.ImageWriter, key string) []uint64 {
+	if img, ok := ws.images[key]; ok {
+		return img
+	}
+	if ws.images == nil {
+		ws.images = make(map[string][]uint64)
+	}
+	img := make([]uint64, len(ws.words))
+	iw.EncodeImage(img, ws.words)
+	ws.images[key] = img
+	return img
 }
 
 // RoundTripCachedInto streams the cached words (EncodeDatasetInto)
@@ -226,6 +252,15 @@ func (c Codec) EncodeDatasetInto(ws *Workspace, x *mat.Dense, y []float64) {
 // minus the re-quantization. The returned matrix and slice alias ws
 // with the same lifetime rules as RoundTripDatasetInto. It panics if
 // no dataset has been cached.
+//
+// Memories implementing mem.BatchMemory take the bulk write/read paths
+// (one call per page instead of one per word); memories additionally
+// implementing mem.ImageWriter with a non-empty key skip the clean-word
+// encode entirely, writing a cached physical image per page — the warm
+// trial's write phase reduces to a masked copy and its read phase to a
+// batch decode. Both fast paths produce bit-identical results to the
+// word-at-a-time oracle loop, which remains the fallback for plain
+// mem.Word32 implementations.
 func (c Codec) RoundTripCachedInto(ws *Workspace, m mem.Word32) (*mat.Dense, []float64) {
 	rows, cols := ws.cachedRows, ws.cachedCols
 	if rows == 0 {
@@ -242,13 +277,41 @@ func (c Codec) RoundTripCachedInto(ws *Workspace, m mem.Word32) (*mat.Dense, []f
 	flat := ws.flat[:n]
 	ws.flat = flat
 	scale := c.scale()
+	bm, batched := m.(mem.BatchMemory)
+	var (
+		img []uint64
+		iw  mem.ImageWriter
+	)
+	if w, ok := m.(mem.ImageWriter); ok && batched {
+		if key := w.ImageKey(); key != "" {
+			iw, img = w, ws.imageFor(w, key)
+		}
+	}
+	if pageN := min(pageWords, n); batched && cap(ws.readBuf) < pageN {
+		ws.readBuf = make([]uint32, pageN)
+	}
 	for start := 0; start < n; start += pageWords {
 		end := start + pageWords
 		if end > n {
 			end = n
 		}
-		for i := start; i < end; i++ {
-			m.Write(i-start, ws.words[i])
+		switch {
+		case img != nil:
+			iw.WriteImage(0, img[start:end])
+		case batched:
+			bm.WriteBatch(0, ws.words[start:end])
+		default:
+			for i := start; i < end; i++ {
+				m.Write(i-start, ws.words[i])
+			}
+		}
+		if batched {
+			buf := ws.readBuf[:end-start]
+			bm.ReadBatch(0, buf)
+			for i, w := range buf {
+				flat[start+i] = float64(int32(w)) / scale
+			}
+			continue
 		}
 		for i := start; i < end; i++ {
 			flat[i] = float64(int32(m.Read(i-start))) / scale

@@ -101,7 +101,24 @@ func (m *KNN) PredictIn(ws *Workspace, x *mat.Dense) []float64 {
 	}
 	n, _ := z.Dims()
 	out := floats(&ws.preds, n)
-	for i := 0; i < n; i++ {
+	i := 0
+	// Narrow-feature fast path: at <= 32 columns predictOne's blocked
+	// scan takes no early-abandon checkpoints, so nothing is lost by
+	// scanning for two queries at once — and each training-row load is
+	// amortized across both queries while the eight independent
+	// accumulator chains keep the FPU pipelined. Distances accumulate in
+	// exactly the same per-pair order, so predictions are bit-identical
+	// to the one-query path (pinned by TestKNNPairedMatchesOne).
+	if qd <= 32 {
+		if cap(ws.neighborsB) < m.K {
+			ws.neighborsB = make([]neighbor, 0, m.K)
+		}
+		for ; i+2 <= n; i += 2 {
+			out[i], out[i+1] = m.predictPair(z.RawRow(i), z.RawRow(i+1),
+				ws.neighbors[:0], ws.neighborsB[:0])
+		}
+	}
+	for ; i < n; i++ {
 		out[i] = m.predictOne(z.RawRow(i), ws.neighbors[:0])
 	}
 	return out
@@ -192,8 +209,113 @@ outer:
 		}
 		best = m.consider(best, d, t)
 	}
-	// Majority vote, ties broken toward the smallest label: count each
-	// kept label in place instead of building a map.
+	return vote(best)
+}
+
+// predictPair classifies two query rows in one pass over the training
+// matrix (the narrow-feature path of PredictIn). Each of the four
+// training rows per block is loaded once and charged against both
+// queries; every (query, row) distance still adds its squared terms in
+// ascending feature order — exactly SqDist's order — so both results
+// are bit-identical to predictOne on the same query. Once both
+// K-buffers are full, a single mid-row checkpoint abandons a block
+// whose eight partial sums all already exceed their query's kth-best
+// distance: squared terms only grow the sums, so every skipped row is
+// one consider would have rejected (d >= bound), and the kept neighbor
+// multisets — hence the votes — are unchanged.
+func (m *KNN) predictPair(qa, qb []float64, bestA, bestB []neighbor) (float64, float64) {
+	nTrain, _ := m.train.Dims()
+	dl := len(qa)
+	qb = qb[:dl] // prove len(qb) == len(qa): drops the qb[j] bounds check
+	half := dl / 2
+	t := 0
+	for ; t+4 <= nTrain; t += 4 {
+		r0 := m.train.RawRow(t)[:dl]
+		r1 := m.train.RawRow(t + 1)[:dl]
+		r2 := m.train.RawRow(t + 2)[:dl]
+		r3 := m.train.RawRow(t + 3)[:dl]
+		var a0, a1, a2, a3, b0, b1, b2, b3 float64
+		j := 0
+		if len(bestA) == m.K && len(bestB) == m.K {
+			for ; j < half; j++ {
+				qav, qbv := qa[j], qb[j]
+				r0v, r1v, r2v, r3v := r0[j], r1[j], r2[j], r3[j]
+				da0 := qav - r0v
+				a0 += da0 * da0
+				da1 := qav - r1v
+				a1 += da1 * da1
+				da2 := qav - r2v
+				a2 += da2 * da2
+				da3 := qav - r3v
+				a3 += da3 * da3
+				db0 := qbv - r0v
+				b0 += db0 * db0
+				db1 := qbv - r1v
+				b1 += db1 * db1
+				db2 := qbv - r2v
+				b2 += db2 * db2
+				db3 := qbv - r3v
+				b3 += db3 * db3
+			}
+			ba, bb := bestA[m.K-1].dist, bestB[m.K-1].dist
+			if a0 >= ba && a1 >= ba && a2 >= ba && a3 >= ba &&
+				b0 >= bb && b1 >= bb && b2 >= bb && b3 >= bb {
+				continue
+			}
+		}
+		for ; j < dl; j++ {
+			qav, qbv := qa[j], qb[j]
+			r0v, r1v, r2v, r3v := r0[j], r1[j], r2[j], r3[j]
+			da0 := qav - r0v
+			a0 += da0 * da0
+			da1 := qav - r1v
+			a1 += da1 * da1
+			da2 := qav - r2v
+			a2 += da2 * da2
+			da3 := qav - r3v
+			a3 += da3 * da3
+			db0 := qbv - r0v
+			b0 += db0 * db0
+			db1 := qbv - r1v
+			b1 += db1 * db1
+			db2 := qbv - r2v
+			b2 += db2 * db2
+			db3 := qbv - r3v
+			b3 += db3 * db3
+		}
+		bestA = m.consider(bestA, a0, t)
+		bestA = m.consider(bestA, a1, t+1)
+		bestA = m.consider(bestA, a2, t+2)
+		bestA = m.consider(bestA, a3, t+3)
+		bestB = m.consider(bestB, b0, t)
+		bestB = m.consider(bestB, b1, t+1)
+		bestB = m.consider(bestB, b2, t+2)
+		bestB = m.consider(bestB, b3, t+3)
+	}
+	for ; t < nTrain; t++ {
+		row := m.train.RawRow(t)
+		boundA := math.Inf(1)
+		if len(bestA) == m.K {
+			boundA = bestA[m.K-1].dist
+		}
+		if d, ok := mat.SqDistBounded(qa, row, boundA); ok {
+			bestA = m.consider(bestA, d, t)
+		}
+		boundB := math.Inf(1)
+		if len(bestB) == m.K {
+			boundB = bestB[m.K-1].dist
+		}
+		if d, ok := mat.SqDistBounded(qb, row, boundB); ok {
+			bestB = m.consider(bestB, d, t)
+		}
+	}
+	return vote(bestA), vote(bestB)
+}
+
+// vote returns the majority label of the kept neighbors, ties broken
+// toward the smallest label: count each kept label in place instead of
+// building a map.
+func vote(best []neighbor) float64 {
 	bestLabel, bestVotes := 0.0, -1
 	for i := range best {
 		v := 0

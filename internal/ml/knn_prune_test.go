@@ -127,6 +127,58 @@ func TestKNNPrunedMatchesNaiveWithTies(t *testing.T) {
 	}
 }
 
+// TestKNNPairedMatchesOne pins the paired narrow-feature scan: every
+// prediction from predictPair must be bit-identical to predictOne on
+// the same query, including duplicate-row ties and the
+// non-multiple-of-4 training remainder, and across odd query counts
+// (where the last query falls back to the one-query path).
+func TestKNNPairedMatchesOne(t *testing.T) {
+	rng := stats.NewRand(19)
+	for _, tc := range []struct{ n, d, k, nq int }{
+		{203, 15, 5, 51},
+		{120, 3, 1, 2},
+		{64, 32, 7, 33},
+		{90, 6, 4, 40},
+	} {
+		x := mat.NewDense(tc.n, tc.d)
+		y := make([]float64, tc.n)
+		for i := 0; i < tc.n; i++ {
+			src := i
+			if i >= tc.n/2 {
+				src = i - tc.n/2 // duplicates force exact distance ties
+			}
+			for j := 0; j < tc.d; j++ {
+				if src == i {
+					x.Set(i, j, math.Round(rng.NormFloat64()*2)/2)
+				} else {
+					x.Set(i, j, x.At(src, j))
+				}
+			}
+			y[i] = float64(i % 3)
+		}
+		m := NewKNN(tc.k)
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		q := mat.NewDense(tc.nq, tc.d)
+		for i := 0; i < tc.nq; i++ {
+			for j := 0; j < tc.d; j++ {
+				q.Set(i, j, math.Round(rng.NormFloat64()*2)/2)
+			}
+		}
+		var ws Workspace
+		got := m.PredictIn(&ws, q) // paired path: d <= 32
+		buf := make([]neighbor, 0, tc.k)
+		for i := 0; i < tc.nq; i++ {
+			want := m.predictOne(q.RawRow(i), buf[:0])
+			if math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Fatalf("n=%d d=%d k=%d query %d: paired %g != one-query %g",
+					tc.n, tc.d, tc.k, i, got[i], want)
+			}
+		}
+	}
+}
+
 // harPredictSetup builds the Fig. 7c-shaped KNN problem (HAR windows,
 // 0.8:0.2 split) for the prediction benchmarks.
 func harPredictSetup(b *testing.B) (*KNN, *mat.Dense, *dataset.Dataset) {

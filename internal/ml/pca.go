@@ -20,6 +20,13 @@ type PCA struct {
 	// variance). Scikit-Learn's PCA — the paper's implementation [21] —
 	// only centers the data, so the Fig. 7 experiments leave this false.
 	Standardize bool
+	// Warm optionally seeds the eigensolver's start basis (a row-basis
+	// as returned by Workspace.EigenSubspace, typically from a fit on
+	// nearby — e.g. clean — data), cutting subspace-iteration rounds.
+	// It is read-only to the fit, so one warm basis may be shared across
+	// goroutines. The fitted model is bit-identical only for equal Warm
+	// values; see mat.EigenSymTopKWarmIn for the determinism contract.
+	Warm *mat.Dense
 
 	scaler   *mat.Standardizer
 	vectors  *mat.Dense // d x Components, orthonormal columns
@@ -62,7 +69,7 @@ func (p *PCA) FitIn(ws *Workspace, x *mat.Dense) error {
 	for i := 0; i < d; i++ {
 		p.totalVar += ws.cov.At(i, i)
 	}
-	vals, vecs := mat.EigenSymTopKIn(&ws.eig, ws.cov, p.Components)
+	vals, vecs := mat.EigenSymTopKWarmIn(&ws.eig, ws.cov, p.Components, p.Warm)
 	p.values = vals
 	p.vectors = vecs
 	return nil

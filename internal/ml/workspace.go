@@ -54,10 +54,12 @@ type Workspace struct {
 	eig   mat.EigenScratch
 	vecT  *mat.Dense
 
-	// KNN: cloned training matrix, label copy, neighbor buffer.
-	train     *mat.Dense
-	labels    []float64
-	neighbors []neighbor
+	// KNN: cloned training matrix, label copy, neighbor buffers (the
+	// paired narrow-feature scan tracks two queries at once).
+	train      *mat.Dense
+	labels     []float64
+	neighbors  []neighbor
+	neighborsB []neighbor
 }
 
 // floats resizes *p to length n, reusing its storage when the capacity
@@ -69,6 +71,13 @@ func floats(p *[]float64, n int) []float64 {
 	*p = (*p)[:n]
 	return *p
 }
+
+// EigenSubspace returns a copy of the converged eigensolver subspace
+// basis of the last PCA fit on this workspace, or nil when none is
+// available (no fit yet, or the solver took its full-decomposition
+// fallback). The result is suitable as PCA.Warm for later fits on
+// nearby data.
+func (ws *Workspace) EigenSubspace() *mat.Dense { return ws.eig.Subspace() }
 
 // fitScaler learns the column transform of x into the workspace and
 // returns a pointer to it, valid until the next FitIn on ws. It matches

@@ -579,6 +579,13 @@ func (c *Coordinator) assignOne() bool {
 
 // send writes one frame on a session's current connection.
 func (c *Coordinator) send(s *session, t MsgType, payload []byte) error {
+	return c.sendFlags(s, t, 0, payload)
+}
+
+// sendFlags is send with frame flags (the Welcome gzip negotiation
+// echo; job and control frames stay plain — result blobs, the payloads
+// worth compressing, flow the other way).
+func (c *Coordinator) sendFlags(s *session, t MsgType, flags byte, payload []byte) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	c.mu.Lock()
@@ -587,7 +594,7 @@ func (c *Coordinator) send(s *session, t MsgType, payload []byte) error {
 	if conn == nil {
 		return errors.New("sweep: session disconnected")
 	}
-	return WriteFrame(conn, t, payload)
+	return WriteFrameFlags(conn, t, flags, payload)
 }
 
 // detach marks a session disconnected (its conn closed), leaving it
@@ -705,7 +712,7 @@ func randToken() string {
 // leased shards) survives for the worker's reconnect.
 func (c *Coordinator) handleConn(conn net.Conn) {
 	defer conn.Close()
-	t, payload, err := ReadFrame(conn)
+	t, flags, payload, err := ReadFrameFlags(conn)
 	if err != nil || t != MsgHello {
 		return
 	}
@@ -714,6 +721,10 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		return
 	}
 	hello := m.(*Hello)
+	// FlagGzipOK on Hello advertises a flags-aware worker; echoing it on
+	// Welcome — and only then — turns compression on for this
+	// connection. A pre-flags worker never sees a flagged frame.
+	gzipOK := flags&FlagGzipOK != 0
 
 	c.mu.Lock()
 	s := c.sessions[hello.Token]
@@ -741,7 +752,11 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	c.notifyConnChange()
 	c.mu.Unlock()
 
-	if err := c.send(s, MsgWelcome, (&Welcome{Token: token}).encode()); err != nil {
+	welcomeFlags := byte(0)
+	if gzipOK {
+		welcomeFlags = FlagGzipOK
+	}
+	if err := c.sendFlags(s, MsgWelcome, welcomeFlags, (&Welcome{Token: token}).encode()); err != nil {
 		c.detach(s)
 		return
 	}

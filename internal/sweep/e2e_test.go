@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -312,16 +314,18 @@ func TestTruncatedMidFrameConnection(t *testing.T) {
 }
 
 // TestDistributedMultiStageExperiment: fig7 runs one engine stage per
-// benchmark app with machine-dependent plans, and its shard type is
-// unexported (not wireable), so this also drives the JobError → poisoned
-// tag → local-compute degradation path end to end. The params override
-// exercises the params-on-the-wire plumbing and trims the budget: two
-// apps at a dozen trials instead of three at the full quick tier.
+// benchmark app with machine-dependent plans. Its shard output carries
+// exported fields, so every stage's shards must gob-encode and travel —
+// a healthy pool may not degrade a single shard to local compute (that
+// used to be fig7's fate back when its shard type was unexported and
+// every stage tag got JobError-poisoned). The params override exercises
+// the params-on-the-wire plumbing and trims the budget: two apps at a
+// handful of trials instead of three at the full quick tier.
 func TestDistributedMultiStageExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-stage distributed run is the slowest e2e case")
 	}
-	params := json.RawMessage(`[{"Trials": 12, "Rows": 512}, {"Trials": 12, "Rows": 512}]`)
+	params := json.RawMessage(`[{"App": 0, "Trials": 8, "Rows": 256}, {"App": 2, "Trials": 8, "Rows": 256}]`)
 	runner := func() *exp.Runner {
 		r := testRunner()
 		r.Params = params
@@ -358,8 +362,130 @@ func TestDistributedMultiStageExperiment(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatal("multi-stage distributed output diverged from single-host run")
 	}
-	if st := c.Stats(); st.JobErrors == 0 || st.LocalShards == 0 {
-		t.Fatalf("expected JobError-driven local degradation for fig7's unexported shard type: %+v", st)
+	st := c.Stats()
+	if st.RemoteShards == 0 {
+		t.Fatalf("no fig7 shards were computed remotely: %+v", st)
+	}
+	if st.JobErrors != 0 || st.LocalShards != 0 {
+		t.Fatalf("fig7 stages must distribute fully on a healthy pool, not degrade to local: %+v", st)
+	}
+}
+
+// TestJobErrorPoisonsTagToLocal: a protocol-level worker that fails
+// every job it is handed drives the JobError → poisoned tag →
+// local-compute degradation end to end. (The organic driver went away:
+// fig7's shard output is wireable now, so a real worker never refuses
+// its stages.) The campaign must still finish bit-identically, with
+// zero remote shards merged from the lying worker.
+func TestJobErrorPoisonsTagToLocal(t *testing.T) {
+	c := startCoordinator(t)
+	conn, err := net.Dial("tcp", c.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(sweep.EncodeMessage(&sweep.Hello{})); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := sweep.ReadFrame(conn)
+	if err != nil || typ != sweep.MsgWelcome {
+		t.Fatalf("handshake got %v, %v; want welcome", typ, err)
+	}
+	go func() {
+		for {
+			typ, payload, err := sweep.ReadFrame(conn)
+			if err != nil {
+				if sweep.IsFatalFrameError(err) || !isFrameError(err) {
+					return
+				}
+				continue
+			}
+			m, err := sweep.DecodeMessage(typ, payload)
+			if err != nil {
+				continue
+			}
+			if j, ok := m.(*sweep.Job); ok {
+				conn.Write(sweep.EncodeMessage(&sweep.JobError{ID: j.ID, Msg: "synthetic failure"}))
+			}
+		}
+	}()
+
+	got := distributedJSON(t, c, "fig5")
+	if want := goldenJSON(t, "fig5"); !bytes.Equal(got, want) {
+		t.Fatal("output diverged after JobError degradation")
+	}
+	st := c.Stats()
+	if st.JobErrors == 0 || st.LocalShards == 0 {
+		t.Fatalf("expected JobError-driven local degradation: %+v", st)
+	}
+	if st.RemoteShards != 0 {
+		t.Fatalf("a worker that failed every job cannot have produced results: %+v", st)
+	}
+}
+
+func isFrameError(err error) bool {
+	var fe *sweep.FrameError
+	return errors.As(err, &fe)
+}
+
+// TestWorkerLegacyHelloFallback: a coordinator that predates frame
+// flags reads a flagged Hello as an unknown frame type and hangs up
+// without a Welcome. The worker must downgrade to a plain Hello on its
+// next attempt and complete the session.
+func TestWorkerLegacyHelloFallback(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	srvErr := make(chan error, 1)
+	go func() {
+		srvErr <- func() error {
+			// First connection: the flagged Hello an old coordinator
+			// cannot parse — it drops the connection.
+			conn, err := ln.Accept()
+			if err != nil {
+				return err
+			}
+			raw, err := sweep.ReadRawFrame(conn)
+			if err != nil {
+				return fmt.Errorf("first hello: %v", err)
+			}
+			if raw[3] != byte(sweep.MsgHello)|sweep.FlagGzipOK {
+				return fmt.Errorf("first hello type byte = %#02x, want flagged hello %#02x",
+					raw[3], byte(sweep.MsgHello)|sweep.FlagGzipOK)
+			}
+			conn.Close()
+			// Second connection: the worker must have downgraded.
+			conn, err = ln.Accept()
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			raw, err = sweep.ReadRawFrame(conn)
+			if err != nil {
+				return fmt.Errorf("second hello: %v", err)
+			}
+			if raw[3] != byte(sweep.MsgHello) {
+				return fmt.Errorf("second hello type byte = %#02x, want plain hello %#02x",
+					raw[3], byte(sweep.MsgHello))
+			}
+			if _, err := conn.Write(sweep.EncodeMessage(&sweep.Welcome{Token: "legacy"})); err != nil {
+				return err
+			}
+			_, err = conn.Write(sweep.EncodeMessage(&sweep.Done{}))
+			return err
+		}()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sweep.RunWorker(ctx, ln.Addr().String(), testWorkerConfig(t)); err != nil {
+		t.Fatalf("worker did not finish cleanly against a pre-flags coordinator: %v", err)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatal(err)
 	}
 }
 

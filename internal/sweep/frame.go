@@ -51,6 +51,31 @@ const (
 	MaxFramePayload = 64 << 20
 )
 
+// The type byte's low six bits carry the MsgType; the high two bits are
+// per-frame flags. A peer that predates the flags reads a flagged type
+// byte as an unknown message type — a recoverable frame error (the
+// length and CRC fields are flag-agnostic), so flagged frames degrade to
+// a counted skip instead of a dropped connection.
+const (
+	// typeMask extracts the MsgType from the frame's type byte.
+	typeMask = 0x3F
+	// FlagGzip marks a frame whose payload is gzip-compressed. The
+	// length and CRC fields cover the compressed wire bytes, so every
+	// receiver — including one that cannot inflate — still delimits and
+	// validates the frame identically.
+	FlagGzip = 0x80
+	// FlagGzipOK advertises that the frame's sender can decode FlagGzip
+	// frames. A worker sets it on Hello; the coordinator echoes it on
+	// Welcome only to workers that advertised, so compression is only
+	// ever used on a connection where both ends opted in.
+	FlagGzipOK = 0x40
+
+	// CompressMin is the smallest payload senders bother compressing.
+	// Below it the gzip header overhead and the extra CPU beat any
+	// saving; shard-result blobs are the payloads that matter.
+	CompressMin = 1 << 10
+)
+
 // MsgType enumerates the protocol's frame types.
 type MsgType byte
 
@@ -129,13 +154,36 @@ func (e *FrameError) Error() string {
 // slice. It panics on an oversized payload — callers bound payload sizes
 // before framing.
 func AppendFrame(dst []byte, t MsgType, payload []byte) []byte {
+	return AppendFrameFlags(dst, t, 0, payload)
+}
+
+// AppendFrameFlags is AppendFrame with frame flags. Zero flags produce
+// a frame byte-identical to AppendFrame's. FlagGzip compresses the
+// payload before framing — and silently clears itself when compression
+// does not shrink the payload, so an incompressible blob travels plain
+// and a receiver never inflates for nothing. It panics on flags outside
+// the defined set or a MsgType that collides with the flag bits.
+func AppendFrameFlags(dst []byte, t MsgType, flags byte, payload []byte) []byte {
+	if byte(t)&^typeMask != 0 {
+		panic(fmt.Sprintf("sweep: message type %d collides with frame flags", byte(t)))
+	}
+	if flags&typeMask != 0 {
+		panic(fmt.Sprintf("sweep: invalid frame flags %#02x", flags))
+	}
 	if len(payload) > MaxFramePayload {
 		panic(fmt.Sprintf("sweep: oversized %v frame: %d bytes", t, len(payload)))
+	}
+	if flags&FlagGzip != 0 {
+		if z := gzipCompress(payload); len(z) < len(payload) {
+			payload = z
+		} else {
+			flags &^= FlagGzip
+		}
 	}
 	var hdr [headerSize]byte
 	hdr[0], hdr[1] = magic0, magic1
 	hdr[2] = ProtocolVersion
-	hdr[3] = byte(t)
+	hdr[3] = byte(t) | flags
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
 	dst = append(dst, hdr[:]...)
@@ -145,7 +193,12 @@ func AppendFrame(dst []byte, t MsgType, payload []byte) []byte {
 // WriteFrame writes one frame to w in a single Write call, so concurrent
 // writers serialized by a mutex never interleave partial frames.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
-	buf := AppendFrame(make([]byte, 0, headerSize+len(payload)), t, payload)
+	return WriteFrameFlags(w, t, 0, payload)
+}
+
+// WriteFrameFlags is WriteFrame with frame flags (see AppendFrameFlags).
+func WriteFrameFlags(w io.Writer, t MsgType, flags byte, payload []byte) error {
+	buf := AppendFrameFlags(make([]byte, 0, headerSize+len(payload)), t, flags, payload)
 	_, err := w.Write(buf)
 	return err
 }
@@ -172,7 +225,11 @@ func parseHeader(hdr []byte) (t MsgType, length int, sum uint32, err error) {
 // buffer returns io.ErrUnexpectedEOF (n = 0): the caller needs more
 // bytes. Validation failures return a *FrameError; for non-fatal ones
 // (bad checksum, unknown type) n still reports the full frame size, so a
-// streaming caller can skip the rejected frame and stay aligned.
+// streaming caller can skip the rejected frame and stay aligned. It is
+// deliberately flag-blind — a flagged type byte parses as an unknown
+// type, exactly as a pre-flags receiver sees it — so its round-trip
+// with AppendFrame stays exact; connection read paths use
+// ReadFrame/ReadFrameFlags, which understand flags.
 func ParseFrame(b []byte) (t MsgType, payload []byte, n int, err error) {
 	if len(b) < headerSize {
 		return 0, nil, 0, io.ErrUnexpectedEOF
@@ -195,34 +252,53 @@ func ParseFrame(b []byte) (t MsgType, payload []byte, n int, err error) {
 	return t, payload, n, nil
 }
 
-// ReadFrame reads and validates one frame from r. A clean EOF at a frame
-// boundary returns io.EOF. Fatal *FrameErrors (desynchronized stream,
-// truncation mid-frame) require the caller to drop the connection;
-// non-fatal ones consumed exactly one complete frame, and the caller may
-// reject it and keep reading.
+// ReadFrame reads and validates one frame from r, transparently
+// inflating FlagGzip payloads (the frame's own flags are dropped; use
+// ReadFrameFlags to see them). A clean EOF at a frame boundary returns
+// io.EOF. Fatal *FrameErrors (desynchronized stream, truncation
+// mid-frame) require the caller to drop the connection; non-fatal ones
+// consumed exactly one complete frame, and the caller may reject it and
+// keep reading.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	t, _, payload, err := ReadFrameFlags(r)
+	return t, payload, err
+}
+
+// ReadFrameFlags is ReadFrame exposing the frame's flag bits. The
+// returned payload is already inflated when FlagGzip was set (the flag
+// stays visible to the caller); a payload that fails to inflate or
+// inflates past MaxFramePayload is a recoverable error — the frame was
+// well-delimited and CRC-valid on the wire, only its contents are bad.
+func ReadFrameFlags(r io.Reader) (MsgType, byte, []byte, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return 0, nil, io.EOF
+			return 0, 0, nil, io.EOF
 		}
-		return 0, nil, &FrameError{Fatal: true, Reason: fmt.Sprintf("truncated header: %v", err)}
+		return 0, 0, nil, &FrameError{Fatal: true, Reason: fmt.Sprintf("truncated header: %v", err)}
 	}
-	t, length, sum, err := parseHeader(hdr[:])
+	raw, length, sum, err := parseHeader(hdr[:])
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
+	flags := byte(raw) &^ typeMask
+	t := raw & typeMask
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, &FrameError{Fatal: true, Reason: fmt.Sprintf("truncated %v payload: %v", t, err)}
+		return 0, 0, nil, &FrameError{Fatal: true, Reason: fmt.Sprintf("truncated %v payload: %v", t, err)}
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
-		return 0, nil, &FrameError{Reason: fmt.Sprintf("%v frame checksum mismatch", t)}
+		return 0, 0, nil, &FrameError{Reason: fmt.Sprintf("%v frame checksum mismatch", t)}
 	}
 	if !t.valid() {
-		return 0, nil, &FrameError{Reason: fmt.Sprintf("unknown frame type %d", byte(t))}
+		return 0, 0, nil, &FrameError{Reason: fmt.Sprintf("unknown frame type %d", byte(t))}
 	}
-	return t, payload, nil
+	if flags&FlagGzip != 0 {
+		if payload, err = gzipDecompress(t, payload); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return t, flags, payload, nil
 }
 
 // ReadRawFrame reads one frame and returns its raw bytes (header plus

@@ -68,8 +68,18 @@ type worker struct {
 	mu       sync.Mutex
 	token    string // session token; empty until the first Welcome
 	conn     net.Conn
+	gzip     bool // coordinator echoed FlagGzipOK on this connection
 	inflight map[uint64]context.CancelFunc
 	pending  []Message // results awaiting a live connection
+
+	// legacyHello strips the FlagGzipOK advertisement from the next
+	// handshake. It is set when a flagged handshake dies before Welcome:
+	// a pre-flags coordinator reads the flagged Hello as an unknown
+	// frame type and hangs up, so the worker retries plain — trading
+	// compression away for interop. (A transient network failure at
+	// exactly the wrong moment costs the same downgrade; that only
+	// forgoes an optimization, never correctness.)
+	legacyHello bool
 
 	sendMu      sync.Mutex
 	lastInbound atomic.Int64 // unix nanos of the last valid frame
@@ -162,15 +172,28 @@ func (w *worker) serveConn(ctx context.Context, conn net.Conn) (finished bool, e
 
 	w.mu.Lock()
 	token := w.token
+	helloFlags := byte(FlagGzipOK)
+	if w.legacyHello {
+		helloFlags = 0
+	}
 	w.mu.Unlock()
-	if err := WriteFrame(conn, MsgHello, (&Hello{Token: token}).encode()); err != nil {
+	if err := WriteFrameFlags(conn, MsgHello, helloFlags, (&Hello{Token: token}).encode()); err != nil {
 		return false, err
 	}
-	t, payload, err := ReadFrame(conn)
-	if err != nil {
-		return false, err
-	}
-	if t != MsgWelcome {
+	t, flags, payload, err := ReadFrameFlags(conn)
+	if err != nil || t != MsgWelcome {
+		if helloFlags != 0 {
+			// A coordinator that predates frame flags reads a flagged
+			// Hello as an unknown frame type and drops the connection
+			// before any Welcome. Retry plain from now on.
+			w.mu.Lock()
+			w.legacyHello = true
+			w.mu.Unlock()
+			w.logf("sweep worker: flagged handshake failed, retrying without frame flags")
+		}
+		if err != nil {
+			return false, err
+		}
 		return false, fmt.Errorf("sweep worker: handshake got %v, want welcome", t)
 	}
 	m, err := DecodeMessage(t, payload)
@@ -183,11 +206,13 @@ func (w *worker) serveConn(ctx context.Context, conn net.Conn) (finished bool, e
 	resumed := w.token != "" && w.token == welcome.Token
 	w.token = welcome.Token
 	w.conn = conn
+	w.gzip = flags&FlagGzipOK != 0
 	w.mu.Unlock()
 	defer func() {
 		w.mu.Lock()
 		if w.conn == conn {
 			w.conn = nil
+			w.gzip = false
 		}
 		w.mu.Unlock()
 	}()
@@ -287,17 +312,25 @@ func (w *worker) heartbeatLoop(conn net.Conn, stop <-chan struct{}) {
 	}
 }
 
-// sendMsg writes one message on the current connection.
+// sendMsg writes one message on the current connection, gzip-framing
+// payloads worth compressing when the coordinator negotiated FlagGzipOK
+// on this connection (in practice that is shard-result blobs — every
+// other worker message is far below CompressMin).
 func (w *worker) sendMsg(m Message) error {
 	w.sendMu.Lock()
 	defer w.sendMu.Unlock()
 	w.mu.Lock()
-	conn := w.conn
+	conn, gz := w.conn, w.gzip
 	w.mu.Unlock()
 	if conn == nil {
 		return errors.New("sweep worker: not connected")
 	}
-	return WriteFrame(conn, m.msgType(), m.payload())
+	payload := m.payload()
+	var flags byte
+	if gz && len(payload) >= CompressMin {
+		flags = FlagGzip
+	}
+	return WriteFrameFlags(conn, m.msgType(), flags, payload)
 }
 
 // deliver sends a result, buffering it for the next successful handshake
