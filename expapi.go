@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"faultmem/internal/exp"
+	"faultmem/internal/workload"
 	"faultmem/internal/yield"
 )
 
@@ -61,6 +62,21 @@ func ParseAccumMode(s string) (AccumMode, error) { return yield.ParseAccumMode(s
 // Experiments returns the registered experiment names in presentation
 // (paper) order — the vocabulary of RunExperiment and `faultmem run`.
 func Experiments() []string { return exp.Experiments() }
+
+// WorkloadNames returns the canonical names of the registered resilient
+// workloads in registry order — the vocabulary of the "workloads"
+// campaign's Workloads parameter.
+func WorkloadNames() []string { return workload.Names() }
+
+// LookupWorkload resolves a canonical workload name to its display name
+// and quality metric. Unknown names return ok=false.
+func LookupWorkload(name string) (display, metric string, ok bool) {
+	id, err := workload.Parse(name)
+	if err != nil {
+		return "", "", false
+	}
+	return id.Display(), id.Metric(), true
+}
 
 // DescribeExperiment returns the one-line description of a registered
 // experiment.

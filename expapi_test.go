@@ -15,7 +15,7 @@ func TestExperimentRegistryListing(t *testing.T) {
 	if len(names) < 14 {
 		t.Fatalf("only %d experiments registered: %v", len(names), names)
 	}
-	for _, want := range []string{"fig2", "fig4", "fig5", "fig6", "fig7", "table1", "energy",
+	for _, want := range []string{"fig2", "fig4", "fig5", "fig6", "fig7", "workloads", "table1", "energy",
 		"redundancy", "pareto", "bistcov", "width", "ablate-multifault", "ablate-lut", "ablate-transient"} {
 		e, ok := faultmem.LookupExperiment(want)
 		if !ok {
@@ -104,6 +104,22 @@ func TestRunExperimentCancellation(t *testing.T) {
 	cancel()
 	if _, err := faultmem.RunExperiment(ctx, "fig5", nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	names := faultmem.WorkloadNames()
+	if len(names) != 5 {
+		t.Fatalf("%d workload names: %v", len(names), names)
+	}
+	for _, name := range names {
+		display, metric, ok := faultmem.LookupWorkload(name)
+		if !ok || display == "" || metric == "" {
+			t.Fatalf("LookupWorkload(%q) = %q, %q, %v", name, display, metric, ok)
+		}
+	}
+	if _, _, ok := faultmem.LookupWorkload("bogus"); ok {
+		t.Fatal("LookupWorkload accepted unknown name")
 	}
 }
 

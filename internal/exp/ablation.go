@@ -310,7 +310,10 @@ func DefaultLUTParams() LUTParams { return LUTParams{Rows: 4096} }
 // multiFaultExperiment adapts the FM-LUT policy study to the registry.
 type multiFaultExperiment struct{}
 
-func (multiFaultExperiment) Name() string       { return "ablate-multifault" }
+func (multiFaultExperiment) Name() string { return "ablate-multifault" }
+func (multiFaultExperiment) Description() string {
+	return "FM-LUT policy on multi-fault rows: BestX vs paper rule"
+}
 func (multiFaultExperiment) DefaultParams() any { return DefaultMultiFaultParams() }
 
 func (e multiFaultExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
@@ -332,7 +335,10 @@ func (e multiFaultExperiment) Run(ctx context.Context, r *Runner) (*Result, erro
 // lutExperiment adapts the LUT realization trade-off to the registry.
 type lutExperiment struct{}
 
-func (lutExperiment) Name() string       { return "ablate-lut" }
+func (lutExperiment) Name() string { return "ablate-lut" }
+func (lutExperiment) Description() string {
+	return "FM-LUT realization trade-off: SRAM columns vs register file"
+}
 func (lutExperiment) DefaultParams() any { return DefaultLUTParams() }
 
 func (e lutExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
@@ -350,7 +356,10 @@ func (e lutExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {
 // registry.
 type transientExperiment struct{}
 
-func (transientExperiment) Name() string       { return "ablate-transient" }
+func (transientExperiment) Name() string { return "ablate-transient" }
+func (transientExperiment) Description() string {
+	return "soft errors on top of persistent faults (scheme boundary)"
+}
 func (transientExperiment) DefaultParams() any { return DefaultTransientParams() }
 
 func (e transientExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {

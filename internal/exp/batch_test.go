@@ -3,6 +3,7 @@ package exp
 import (
 	"testing"
 
+	"faultmem/internal/dataset"
 	"faultmem/internal/fault"
 	"faultmem/internal/mat"
 	"faultmem/internal/mem"
@@ -253,10 +254,7 @@ func TestRoundTripCachedMatchesUncachedPerArm(t *testing.T) {
 // records it next to the whole-trial benches.
 func BenchmarkFig7RoundTrip(b *testing.B) {
 	p := DefaultFig7Params(AppElasticnet)
-	w, err := p.prepare()
-	if err != nil {
-		b.Fatal(err)
-	}
+	train, _ := dataset.Wine(p.Seed).Split(0.8, p.Seed+1)
 	codec := memstore.DefaultCodec()
 	rng := stats.NewRand(42)
 	fm := fault.GeneratePcell(rng, p.Rows, 32, p.Pcell, fault.Flip)
@@ -267,7 +265,7 @@ func BenchmarkFig7RoundTrip(b *testing.B) {
 				b.Fatal(err)
 			}
 			var ws memstore.Workspace
-			codec.EncodeDatasetInto(&ws, w.train.X, w.train.Y)
+			codec.EncodeDatasetInto(&ws, train.X, train.Y)
 			codec.RoundTripCachedInto(&ws, m)
 			b.ReportAllocs()
 			b.ResetTimer()

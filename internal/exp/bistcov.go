@@ -116,7 +116,10 @@ func BISTCoverageCtx(ctx context.Context, p BISTCoverageParams) ([]BISTCoverageR
 // bistcovExperiment adapts the March coverage study to the registry.
 type bistcovExperiment struct{}
 
-func (bistcovExperiment) Name() string       { return "bistcov" }
+func (bistcovExperiment) Name() string { return "bistcov" }
+func (bistcovExperiment) Description() string {
+	return "March-algorithm fault coverage: static vs coupling faults"
+}
 func (bistcovExperiment) DefaultParams() any { return DefaultBISTCoverageParams() }
 
 func (e bistcovExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {

@@ -249,7 +249,10 @@ func EnergyStudyEnv(env mc.Env, p EnergyParams) ([]EnergyRow, error) {
 // registry.
 type energyExperiment struct{}
 
-func (energyExperiment) Name() string       { return "energy" }
+func (energyExperiment) Name() string { return "energy" }
+func (energyExperiment) Description() string {
+	return "min viable VDD and read energy per scheme (the paper's payoff)"
+}
 func (energyExperiment) DefaultParams() any { return DefaultEnergyParams() }
 
 func (e energyExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {

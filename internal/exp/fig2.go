@@ -82,7 +82,10 @@ func Fig2Ctx(ctx context.Context, p Fig2Params) ([]Fig2Row, error) {
 // fig2Experiment adapts the sweep to the registry.
 type fig2Experiment struct{}
 
-func (fig2Experiment) Name() string       { return "fig2" }
+func (fig2Experiment) Name() string { return "fig2" }
+func (fig2Experiment) Description() string {
+	return "SRAM cell failure probability under VDD scaling (Fig. 2)"
+}
 func (fig2Experiment) DefaultParams() any { return DefaultFig2Params() }
 
 func (e fig2Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {

@@ -63,7 +63,10 @@ func Fig4Table(rows []Fig4Row) *Table {
 // fig4Experiment adapts the profile to the registry.
 type fig4Experiment struct{}
 
-func (fig4Experiment) Name() string       { return "fig4" }
+func (fig4Experiment) Name() string { return "fig4" }
+func (fig4Experiment) Description() string {
+	return "error magnitude per faulty bit position, all nFM options (Fig. 4)"
+}
 func (fig4Experiment) DefaultParams() any { return Fig4Params{} }
 
 func (e fig4Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {

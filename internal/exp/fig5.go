@@ -85,7 +85,10 @@ func Fig5Env(env mc.Env, p Fig5Params) (Fig5Result, error) {
 // fig5Experiment adapts the MSE-CDF campaign to the registry.
 type fig5Experiment struct{}
 
-func (fig5Experiment) Name() string       { return "fig5" }
+func (fig5Experiment) Name() string { return "fig5" }
+func (fig5Experiment) Description() string {
+	return "CDF of memory MSE per protection scheme, 16KB at Pcell=5e-6 (Fig. 5)"
+}
 func (fig5Experiment) DefaultParams() any { return DefaultFig5Params() }
 
 func (e fig5Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {

@@ -100,7 +100,10 @@ func (r Fig6Result) AbsoluteTable() *Table {
 // fig6Experiment adapts the overhead model to the registry.
 type fig6Experiment struct{}
 
-func (fig6Experiment) Name() string       { return "fig6" }
+func (fig6Experiment) Name() string { return "fig6" }
+func (fig6Experiment) Description() string {
+	return "read power / delay / area overhead vs H(39,32) SECDED (Fig. 6)"
+}
 func (fig6Experiment) DefaultParams() any { return DefaultFig6Params() }
 
 func (e fig6Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {

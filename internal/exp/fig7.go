@@ -2,62 +2,51 @@ package exp
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"strings"
 
-	"faultmem/internal/dataset"
-	"faultmem/internal/fault"
-	"faultmem/internal/mat"
 	"faultmem/internal/mc"
-	"faultmem/internal/mem"
-	"faultmem/internal/memstore"
-	"faultmem/internal/ml"
 	"faultmem/internal/stats"
+	"faultmem/internal/workload"
 )
 
-// App selects a Fig. 7 benchmark application (Table 1).
+// App selects a Fig. 7 benchmark application (Table 1). Its values
+// coincide with the first three workload.ID entries, so existing JSON
+// params keep their meaning; the per-app trial logic itself lives in
+// internal/workload.
 type App int
 
 const (
 	// AppElasticnet is the wine-quality regression benchmark (Fig. 7a).
-	AppElasticnet App = iota
+	AppElasticnet App = App(workload.ElasticNet)
 	// AppPCA is the Madelon dimensionality-reduction benchmark (Fig. 7b).
-	AppPCA
+	AppPCA App = App(workload.PCA)
 	// AppKNN is the activity-recognition classification benchmark
 	// (Fig. 7c).
-	AppKNN
+	AppKNN App = App(workload.KNN)
 )
+
+// valid reports whether a names a Fig. 7 benchmark (the experiment runs
+// only the paper's three apps; the wider workload family runs under the
+// `workloads` campaign).
+func (a App) valid() bool { return a >= AppElasticnet && a <= AppKNN }
 
 // String returns the benchmark name.
 func (a App) String() string {
-	switch a {
-	case AppElasticnet:
-		return "Elasticnet"
-	case AppPCA:
-		return "PCA"
-	case AppKNN:
-		return "KNN"
-	default:
+	if !a.valid() {
 		return fmt.Sprintf("app(%d)", int(a))
 	}
+	return workload.ID(a).Display()
 }
 
 // Metric returns the Table 1 quality metric name of the benchmark.
 func (a App) Metric() string {
-	switch a {
-	case AppElasticnet:
-		return "R^2"
-	case AppPCA:
-		return "Explained Variance"
-	case AppKNN:
-		return "Score"
-	default:
+	if !a.valid() {
 		return "?"
 	}
+	return workload.ID(a).Metric()
 }
 
 // ParseApp maps a CLI name to the benchmark.
@@ -167,92 +156,17 @@ type Fig7Result struct {
 	ECCReference float64
 }
 
-// fig7Workload holds the prepared data and model-evaluation closure.
-// evaluate trains the benchmark model on (x, y) using the caller's
-// ml.Workspace scratch (nil allocates fresh) and scores it on the clean
-// test split. A fit error is a programming error (dimension mismatch,
-// n < 2) — never fault-induced — so it propagates instead of being
-// folded into the quality CDF as a silent 0.
-type fig7Workload struct {
-	train, test *dataset.Dataset
-	clean       float64
-	evaluate    func(ws *ml.Workspace, x *mat.Dense, y []float64) (float64, error)
-}
-
-// prepare builds the dataset, the 0.8:0.2 split, and the fault-free
-// reference metric for the benchmark.
-func (p Fig7Params) prepare() (*fig7Workload, error) {
-	var ds *dataset.Dataset
-	switch p.App {
-	case AppElasticnet:
-		ds = dataset.Wine(p.Seed)
-	case AppPCA:
-		mp := dataset.DefaultMadelon()
-		if p.MadelonPaperSize {
-			mp = dataset.PaperMadelon()
-		}
-		ds = dataset.Madelon(p.Seed, mp)
-	case AppKNN:
-		ds = dataset.HAR(p.Seed, dataset.DefaultHAR())
-	default:
+// prepare resolves the benchmark's workload and builds its instance:
+// dataset, 0.8:0.2 split, and the fault-free reference metric.
+func (p Fig7Params) prepare() (workload.Instance, error) {
+	if !p.App.valid() {
 		return nil, fmt.Errorf("exp: unknown app %v", p.App)
 	}
-	train, test := ds.Split(0.8, p.Seed+1)
-
-	w := &fig7Workload{train: train, test: test}
-	switch p.App {
-	case AppElasticnet:
-		w.evaluate = func(ws *ml.Workspace, x *mat.Dense, y []float64) (float64, error) {
-			en := ml.NewElasticNet()
-			if err := en.FitIn(ws, x, y); err != nil {
-				return 0, err
-			}
-			return en.ScoreIn(ws, test.X, test.Y), nil
-		}
-	case AppPCA:
-		k := 10
-		// One fit on the clean training set seeds the eigensolver for
-		// every trial fit: the converged clean-data subspace is a pure
-		// function of the workload — independent of worker count and
-		// trial order — so warm-started trial fits keep bit-identical
-		// sharding while the subspace iteration only has to track the
-		// fault-induced covariance perturbation instead of reconverging
-		// from the fixed pseudo-random basis. Shared read-only across
-		// shards.
-		var warm *mat.Dense
-		{
-			var cws ml.Workspace
-			warmFit := ml.NewPCA(k)
-			if err := warmFit.FitIn(&cws, train.X); err == nil {
-				warm = cws.EigenSubspace()
-			}
-		}
-		w.evaluate = func(ws *ml.Workspace, x *mat.Dense, _ []float64) (float64, error) {
-			pca := ml.NewPCA(k)
-			pca.Warm = warm
-			if err := pca.FitIn(ws, x); err != nil {
-				return 0, err
-			}
-			return pca.ExplainedVarianceOnIn(ws, test.X), nil
-		}
-	case AppKNN:
-		w.evaluate = func(ws *ml.Workspace, x *mat.Dense, y []float64) (float64, error) {
-			knn := ml.NewKNN(5)
-			if err := knn.FitIn(ws, x, y); err != nil {
-				return 0, err
-			}
-			return knn.ScoreIn(ws, test.X, test.Y), nil
-		}
-	}
-	clean, err := w.evaluate(nil, train.X, train.Y)
+	wl, err := workload.ID(p.App).Workload()
 	if err != nil {
-		return nil, fmt.Errorf("exp: fault-free %v fit: %w", p.App, err)
+		return nil, err
 	}
-	w.clean = clean
-	if w.clean <= 0 {
-		return nil, fmt.Errorf("exp: fault-free %v metric %g is not positive", p.App, w.clean)
-	}
-	return w, nil
+	return wl.Prepare(workload.Params{Seed: p.Seed, MadelonPaperSize: p.MadelonPaperSize})
 }
 
 // Fig7Arms returns the protection arms plotted in Fig. 7: no protection,
@@ -260,78 +174,6 @@ func (p Fig7Params) prepare() (*fig7Workload, error) {
 // top of nFM=2, §5.2).
 func Fig7Arms() []Protection {
 	return []Protection{ProtNone, ProtPECC, ProtShuffle1, ProtShuffle2}
-}
-
-// fig7TrialRunner executes warm Fig. 7 trials for one shard: it owns
-// the per-shard scratch (one functional memory per arm reinstalled in
-// place via mem.Resetter, the dataset round-trip workspace, and the ML
-// fit workspace), so after the first trial the whole
-// fault-map -> memory -> round-trip -> retrain -> score pipeline runs
-// allocation-free except for fault-map generation itself.
-type fig7TrialRunner struct {
-	p     Fig7Params
-	w     *fig7Workload
-	codec memstore.Codec
-	cells int
-	arms  []Protection
-	mems  []mem.Word32
-	ws    memstore.Workspace
-	mws   ml.Workspace
-}
-
-func newFig7TrialRunner(p Fig7Params, w *fig7Workload) *fig7TrialRunner {
-	arms := Fig7Arms()
-	r := &fig7TrialRunner{
-		p:     p,
-		w:     w,
-		codec: memstore.DefaultCodec(),
-		cells: p.Rows * 32,
-		arms:  arms,
-		mems:  make([]mem.Word32, len(arms)),
-	}
-	// The clean training set is identical across every (trial, arm) the
-	// shard runs: quantize and flatten it once, so each round trip pays
-	// only the fault-dependent work (writes, reads, decode).
-	r.codec.EncodeDatasetInto(&r.ws, w.train.X, w.train.Y)
-	return r
-}
-
-// runTrial executes one Monte-Carlo trial: it draws the die's fault map
-// from the trial's own RNG stream and appends one normalized quality
-// per arm to out.
-func (r *fig7TrialRunner) runTrial(seedBase int64, trial int, out []float64) ([]float64, error) {
-	rng := stats.Derive(seedBase, int64(trial))
-	// Draw the die's failure count from the Eq. (4) prior, conditioned
-	// on at least one failure (fault-free dies have quality 1 by
-	// construction and are excluded from the CDF, matching Fig. 7's
-	// curves).
-	n := 0
-	for n == 0 {
-		n = stats.SampleBinomial(rng, r.cells, r.p.Pcell)
-	}
-	fm := fault.GenerateCount(rng, r.p.Rows, 32, n, fault.Flip)
-	for ai, arm := range r.arms {
-		var m mem.Word32
-		var err error
-		if rs, ok := r.mems[ai].(mem.Resetter); ok {
-			m, err = r.mems[ai], rs.Reset(fm)
-		} else {
-			m, err = arm.Build(r.p.Rows, fm)
-			r.mems[ai] = m
-		}
-		if err != nil {
-			return out, fmt.Errorf("exp: %v trial %d arm %v: %w", r.p.App, trial, arm, err)
-		}
-		// xc/yc alias the shard workspace; evaluate consumes them fully
-		// before the next arm refills it.
-		xc, yc := r.codec.RoundTripCachedInto(&r.ws, m)
-		q, err := r.w.evaluate(&r.mws, xc, yc)
-		if err != nil {
-			return out, fmt.Errorf("exp: %v trial %d arm %v: %w", r.p.App, trial, arm, err)
-		}
-		out = append(out, ml.NormalizeQuality(q, r.w.clean))
-	}
-	return out, nil
 }
 
 // Fig7 runs the Monte-Carlo quality experiment on the parallel engine.
@@ -342,12 +184,10 @@ func (r *fig7TrialRunner) runTrial(seedBase int64, trial int, out []float64) ([]
 // and pushes the training set through every protection arm's memory
 // (common random numbers), so the arms' quality CDFs are compared on
 // identical dies and each trial pays fault generation once instead of
-// once per arm. Trials sharing a shard reuse one memstore.Workspace for
-// the dataset round-trip and one ml.Workspace for model training, so a
-// warm trial allocates almost nothing: fault generation, the round-trip
-// scratch, and every fit/score buffer (standardized copies, residuals,
-// covariance + Jacobi scratch, KNN neighbors) are all reused across the
-// shard's trials.
+// once per arm. Trials sharing a shard reuse one workload.Workspace
+// (dataset round-trip scratch, ML fit buffers, per-arm memories), so a
+// warm trial allocates almost nothing — the generic trial loop lives in
+// workload.TrialRunner.
 func Fig7(p Fig7Params) (Fig7Result, error) {
 	return Fig7Env(mc.Env{}, p)
 }
@@ -365,70 +205,23 @@ func Fig7Env(env mc.Env, p Fig7Params) (Fig7Result, error) {
 	if err := env.Context().Err(); err != nil {
 		return Fig7Result{}, err
 	}
-	w, err := p.prepare()
+	inst, err := p.prepare()
 	if err != nil {
 		return Fig7Result{}, err
 	}
-	res := Fig7Result{Params: p, CleanMetric: w.clean, ECCReference: 1.0}
-	arms := Fig7Arms()
-	narms := len(arms)
-	seedBase := stats.DeriveSeed(p.Seed, 1000)
-	spans := mc.Split(p.Trials, mc.Workers(p.Workers))
-	cancel := env.Done()
-
-	outs, err := mc.RunEnv(env, p.Workers, len(spans), seedBase,
-		func(shard int, _ *rand.Rand) fig7ShardOut {
-			span := spans[shard]
-			out := fig7ShardOut{Qs: make([]float64, 0, (span.End-span.Start)*narms)}
-			runner := newFig7TrialRunner(p, w)
-			for trial := span.Start; trial < span.End; trial++ {
-				select {
-				case <-cancel:
-					// Abandon the shard; the engine reports ctx.Err() and
-					// the partial samples are discarded with it.
-					return out
-				default:
-				}
-				qs, err := runner.runTrial(seedBase, trial, out.Qs)
-				out.Qs = qs
-				if err != nil {
-					out.Err = err.Error()
-					return out
-				}
-			}
-			return out
-		})
+	arms, err := runQualityArms(env, inst, qualityConfig{
+		name:    strings.ToLower(p.App.String()),
+		arms:    Fig7Arms(),
+		rows:    p.Rows,
+		pcell:   p.Pcell,
+		trials:  p.Trials,
+		workers: p.Workers,
+		seed:    p.Seed,
+	})
 	if err != nil {
 		return Fig7Result{}, err
 	}
-
-	for _, o := range outs {
-		if o.Err != "" {
-			return Fig7Result{}, errors.New(o.Err)
-		}
-	}
-	for ai, arm := range arms {
-		qualities := make([]float64, 0, p.Trials)
-		for _, o := range outs {
-			for t := 0; t*narms < len(o.Qs); t++ {
-				qualities = append(qualities, o.Qs[t*narms+ai])
-			}
-		}
-		sort.Float64s(qualities)
-		res.Arms = append(res.Arms, Fig7Arm{Scheme: arm, Qualities: qualities})
-	}
-	return res, nil
-}
-
-// fig7ShardOut is one engine shard's result: the span's trial-major,
-// arm-minor normalized qualities, plus any trial error as text. The
-// fields are exported (and the error travels as a string) so the value
-// gob-encodes: the sweep service can ship Fig. 7 shards to remote
-// workers instead of degrading the stage to local compute via JobError
-// tag-poisoning.
-type fig7ShardOut struct {
-	Qs  []float64
-	Err string
+	return Fig7Result{Params: p, CleanMetric: inst.Clean(), ECCReference: 1.0, Arms: arms}, nil
 }
 
 // QualityCDFTable tabulates the per-arm quality CDF over a fixed grid —
@@ -501,7 +294,10 @@ func DefaultFig7Suite() []Fig7Params {
 // one run covers every configured benchmark (the old `fig7 -app all`).
 type fig7Experiment struct{}
 
-func (fig7Experiment) Name() string       { return "fig7" }
+func (fig7Experiment) Name() string { return "fig7" }
+func (fig7Experiment) Description() string {
+	return "application quality CDFs: elasticnet, PCA, KNN (Fig. 7a-c)"
+}
 func (fig7Experiment) DefaultParams() any { return DefaultFig7Suite() }
 
 func (e fig7Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {

@@ -3,13 +3,25 @@ package exp
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"faultmem/internal/fault"
-	"faultmem/internal/mat"
 	"faultmem/internal/memstore"
 	"faultmem/internal/stats"
+	"faultmem/internal/workload"
 )
+
+// newFig7TestRunner builds the per-shard trial runner the Fig. 7 engine
+// uses, for white-box perf tests.
+func newFig7TestRunner(p Fig7Params, inst workload.Instance) *workload.TrialRunner {
+	return workload.NewTrialRunner(inst, workload.Config{
+		Name:  strings.ToLower(p.App.String()),
+		Rows:  p.Rows,
+		Pcell: p.Pcell,
+		Arms:  workloadArms(Fig7Arms()),
+	})
+}
 
 // TestQualityAtYieldQuantileConvention pins the ceil(level*n)-1
 // empirical-quantile fix: the level-quantile is the smallest sample with
@@ -89,26 +101,6 @@ func TestCDFAtEmptyArm(t *testing.T) {
 	arm.QualityAtYield(0.5)
 }
 
-// TestFig7EvaluatePropagatesFitError pins the swallowed-error fix: a fit
-// failure (always a programming error, never fault-induced) surfaces as
-// an error instead of silently recording quality 0.
-func TestFig7EvaluatePropagatesFitError(t *testing.T) {
-	for _, app := range []App{AppElasticnet, AppPCA, AppKNN} {
-		p := DefaultFig7Params(app)
-		w, err := p.prepare()
-		if err != nil {
-			t.Fatalf("%v: prepare: %v", app, err)
-		}
-		// One training sample breaks every model's fit invariants
-		// (n < 2 for elastic net / PCA, n < K for KNN).
-		_, d := w.train.X.Dims()
-		bad := mat.NewDense(1, d)
-		if _, err := w.evaluate(nil, bad, []float64{1}); err == nil {
-			t.Errorf("%v: evaluate on invalid training set returned no error", app)
-		}
-	}
-}
-
 // TestFig7TrialWarmAllocs pins the workspace payoff end to end: a warm
 // Fig. 7 trial (fault map + 4 arms + round-trip + retrain + score) must
 // run with ~10 allocations, down from several hundred before the
@@ -120,17 +112,17 @@ func TestFig7TrialWarmAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	seedBase := stats.DeriveSeed(p.Seed, 1000)
-	runner := newFig7TrialRunner(p, w)
+	runner := newFig7TestRunner(p, w)
 	var buf []float64
 	for trial := 0; trial < 3; trial++ { // warm up every arm's scratch
-		if buf, err = runner.runTrial(seedBase, trial, buf[:0]); err != nil {
+		if buf, err = runner.RunTrial(seedBase, trial, buf[:0]); err != nil {
 			t.Fatal(err)
 		}
 	}
 	trial := 3
 	allocs := testing.AllocsPerRun(5, func() {
 		var err error
-		buf, err = runner.runTrial(seedBase, trial, buf[:0])
+		buf, err = runner.RunTrial(seedBase, trial, buf[:0])
 		if err != nil {
 			t.Error(err)
 		}
@@ -144,10 +136,10 @@ func TestFig7TrialWarmAllocs(t *testing.T) {
 // benchFig7Trial measures ONE Monte-Carlo trial (fault map + all four
 // protection arms + round-trip + model retrain + score), the unit the
 // Trials budget scales by. warm=true runs the engine's actual per-shard
-// path (fig7TrialRunner: reused memories, round-trip scratch, and ML
-// fit workspaces); warm=false rebuilds the memories and fit buffers
-// every trial — the pre-workspace behaviour — for the before/after
-// allocation comparison.
+// path (workload.TrialRunner: reused memories, round-trip scratch, and
+// ML fit workspaces); warm=false rebuilds the memories, the quantized
+// word cache, and the fit buffers every trial — the pre-workspace
+// behaviour — for the before/after allocation comparison.
 func benchFig7Trial(b *testing.B, app App, warm bool) {
 	p := DefaultFig7Params(app)
 	w, err := p.prepare()
@@ -157,20 +149,18 @@ func benchFig7Trial(b *testing.B, app App, warm bool) {
 	seedBase := stats.DeriveSeed(p.Seed, 1000)
 	b.ReportAllocs()
 	if warm {
-		runner := newFig7TrialRunner(p, w)
+		runner := newFig7TestRunner(p, w)
 		var buf []float64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if buf, err = runner.runTrial(seedBase, i, buf[:0]); err != nil {
+			if buf, err = runner.RunTrial(seedBase, i, buf[:0]); err != nil {
 				b.Fatal(err)
 			}
 		}
 		return
 	}
-	codec := memstore.DefaultCodec()
 	cells := p.Rows * 32
 	arms := Fig7Arms()
-	var ws memstore.Workspace
 	sink := 0.0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -185,8 +175,9 @@ func benchFig7Trial(b *testing.B, app App, warm bool) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			xc, yc := codec.RoundTripDatasetInto(&ws, m, w.train.X, w.train.Y)
-			q, err := w.evaluate(nil, xc, yc)
+			ws := workload.Workspace{Codec: memstore.DefaultCodec(), Mem: m}
+			w.StoreOn(&ws)
+			q, err := w.RunTrial(&ws, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -214,12 +205,12 @@ func BenchmarkFig7TrialPCAPaper(b *testing.B) {
 		b.Fatal(err)
 	}
 	seedBase := stats.DeriveSeed(p.Seed, 1000)
-	runner := newFig7TrialRunner(p, w)
+	runner := newFig7TestRunner(p, w)
 	var buf []float64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if buf, err = runner.runTrial(seedBase, i, buf[:0]); err != nil {
+		if buf, err = runner.RunTrial(seedBase, i, buf[:0]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -113,7 +113,10 @@ func ParetoEnv(env mc.Env, p ParetoParams) ([]ParetoRow, error) {
 // paretoExperiment adapts the quality/overhead frontier to the registry.
 type paretoExperiment struct{}
 
-func (paretoExperiment) Name() string       { return "pareto" }
+func (paretoExperiment) Name() string { return "pareto" }
+func (paretoExperiment) Description() string {
+	return "quality vs hardware-cost frontier across both design knobs"
+}
 func (paretoExperiment) DefaultParams() any { return DefaultParetoParams() }
 
 func (e paretoExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {

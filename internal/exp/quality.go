@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"faultmem/internal/mc"
+	"faultmem/internal/stats"
+	"faultmem/internal/workload"
+)
+
+// qualityConfig fixes one quality-vs-yield engine run: a prepared
+// workload instance pushed through a set of protection arms at a fixed
+// memory geometry and trial budget.
+type qualityConfig struct {
+	name    string // canonical workload name, labels trial errors
+	arms    []Protection
+	rows    int
+	pcell   float64
+	trials  int
+	workers int
+	seed    int64
+}
+
+// workloadArms adapts protection arms to the workload layer's Arm
+// interface (Protection satisfies it structurally; the indirection
+// avoids an import cycle).
+func workloadArms(arms []Protection) []workload.Arm {
+	out := make([]workload.Arm, len(arms))
+	for i, a := range arms {
+		out[i] = a
+	}
+	return out
+}
+
+// runQualityArms is the shared Monte-Carlo engine behind fig7 and the
+// workloads campaign: it splits the trial budget into contiguous spans,
+// runs each span's trials on a per-shard workload.TrialRunner (one RNG
+// stream per trial derived from (seed, trial), so the samples are
+// bit-identical at any worker or shard count), and returns one
+// ascending-sorted quality sample per arm.
+func runQualityArms(env mc.Env, inst workload.Instance, cfg qualityConfig) ([]Fig7Arm, error) {
+	narms := len(cfg.arms)
+	rcfg := workload.Config{
+		Name:  cfg.name,
+		Rows:  cfg.rows,
+		Pcell: cfg.pcell,
+		Arms:  workloadArms(cfg.arms),
+	}
+	seedBase := stats.DeriveSeed(cfg.seed, 1000)
+	spans := mc.Split(cfg.trials, mc.Workers(cfg.workers))
+	cancel := env.Done()
+
+	outs, err := mc.RunEnv(env, cfg.workers, len(spans), seedBase,
+		func(shard int, _ *rand.Rand) workload.ShardOut {
+			span := spans[shard]
+			out := workload.ShardOut{Qs: make([]float64, 0, (span.End-span.Start)*narms)}
+			runner := workload.NewTrialRunner(inst, rcfg)
+			for trial := span.Start; trial < span.End; trial++ {
+				select {
+				case <-cancel:
+					// Abandon the shard; the engine reports ctx.Err() and
+					// the partial samples are discarded with it.
+					return out
+				default:
+				}
+				qs, err := runner.RunTrial(seedBase, trial, out.Qs)
+				out.Qs = qs
+				if err != nil {
+					out.Err = err.Error()
+					return out
+				}
+			}
+			return out
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, o := range outs {
+		if o.Err != "" {
+			return nil, errors.New(o.Err)
+		}
+	}
+	res := make([]Fig7Arm, 0, narms)
+	for ai, arm := range cfg.arms {
+		qualities := make([]float64, 0, cfg.trials)
+		for _, o := range outs {
+			for t := 0; t*narms < len(o.Qs); t++ {
+				qualities = append(qualities, o.Qs[t*narms+ai])
+			}
+		}
+		sort.Float64s(qualities)
+		res = append(res, Fig7Arm{Scheme: arm, Qualities: qualities})
+	}
+	return res, nil
+}

@@ -106,7 +106,10 @@ func RedundancyStudyCtx(ctx context.Context, p RedundancyParams) ([]RedundancyRo
 // registry.
 type redundancyExperiment struct{}
 
-func (redundancyExperiment) Name() string       { return "redundancy" }
+func (redundancyExperiment) Name() string { return "redundancy" }
+func (redundancyExperiment) Description() string {
+	return "spare-row/column economics under VDD scaling (Section 2)"
+}
 func (redundancyExperiment) DefaultParams() any { return DefaultRedundancyParams() }
 
 func (e redundancyExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {

@@ -26,10 +26,19 @@ type Experiment interface {
 	Run(ctx context.Context, r *Runner) (*Result, error)
 }
 
-// entry is one registered experiment with its listing description.
+// Describer is the optional listing-description facet of an
+// Experiment: a one-line summary shown by `faultmem list`. Experiments
+// without it list with an empty description — the interface stays
+// optional so third-party Experiment implementations predating it keep
+// compiling.
+type Describer interface {
+	// Description is a one-line summary for registry listings.
+	Description() string
+}
+
+// entry is one registered experiment.
 type entry struct {
-	exp  Experiment
-	desc string
+	exp Experiment
 }
 
 // registry holds every experiment in presentation (paper) order. It is
@@ -40,30 +49,31 @@ var registryIndex = map[string]int{}
 
 // Register adds an experiment to the registry. It panics on a duplicate
 // name — registry names are the wire contract of the run API.
-func Register(e Experiment, description string) {
+func Register(e Experiment) {
 	name := e.Name()
 	if _, dup := registryIndex[name]; dup {
 		panic(fmt.Sprintf("exp: duplicate experiment %q", name))
 	}
 	registryIndex[name] = len(registry)
-	registry = append(registry, entry{exp: e, desc: description})
+	registry = append(registry, entry{exp: e})
 }
 
 func init() {
-	Register(fig2Experiment{}, "SRAM cell failure probability under VDD scaling (Fig. 2)")
-	Register(fig4Experiment{}, "error magnitude per faulty bit position, all nFM options (Fig. 4)")
-	Register(table1Experiment{}, "evaluation applications and datasets (Table 1)")
-	Register(fig5Experiment{}, "CDF of memory MSE per protection scheme, 16KB at Pcell=5e-6 (Fig. 5)")
-	Register(fig6Experiment{}, "read power / delay / area overhead vs H(39,32) SECDED (Fig. 6)")
-	Register(fig7Experiment{}, "application quality CDFs: elasticnet, PCA, KNN (Fig. 7a-c)")
-	Register(energyExperiment{}, "min viable VDD and read energy per scheme (the paper's payoff)")
-	Register(redundancyExperiment{}, "spare-row/column economics under VDD scaling (Section 2)")
-	Register(paretoExperiment{}, "quality vs hardware-cost frontier across both design knobs")
-	Register(bistcovExperiment{}, "March-algorithm fault coverage: static vs coupling faults")
-	Register(widthExperiment{}, "word-width generalization: shuffle vs SECDED at W=16/32/64")
-	Register(multiFaultExperiment{}, "FM-LUT policy on multi-fault rows: BestX vs paper rule")
-	Register(lutExperiment{}, "FM-LUT realization trade-off: SRAM columns vs register file")
-	Register(transientExperiment{}, "soft errors on top of persistent faults (scheme boundary)")
+	Register(fig2Experiment{})
+	Register(fig4Experiment{})
+	Register(table1Experiment{})
+	Register(fig5Experiment{})
+	Register(fig6Experiment{})
+	Register(fig7Experiment{})
+	Register(workloadsExperiment{})
+	Register(energyExperiment{})
+	Register(redundancyExperiment{})
+	Register(paretoExperiment{})
+	Register(bistcovExperiment{})
+	Register(widthExperiment{})
+	Register(multiFaultExperiment{})
+	Register(lutExperiment{})
+	Register(transientExperiment{})
 }
 
 // Experiments returns the registered names in presentation order.
@@ -75,13 +85,17 @@ func Experiments() []string {
 	return names
 }
 
-// Describe returns the one-line listing description of an experiment.
+// Describe returns the one-line listing description of an experiment
+// (empty for experiments that do not implement Describer).
 func Describe(name string) (string, bool) {
 	i, ok := registryIndex[name]
 	if !ok {
 		return "", false
 	}
-	return registry[i].desc, true
+	if d, ok := registry[i].exp.(Describer); ok {
+		return d.Description(), true
+	}
+	return "", true
 }
 
 // Lookup returns the registered experiment by name.

@@ -36,10 +36,16 @@ func smokeParams() map[string]any {
 	tr := DefaultTransientParams()
 	tr.Rows = 128
 	tr.Reads = 2
+	wk := DefaultWorkloadsParams()
+	wk.Trials = 2
+	wk.Rows = 1024
+	wk.Keys = 2048
+	wk.Dim = 32
 	return map[string]any{
 		"fig2":              fig2,
 		"fig5":              fig5,
 		"fig7":              fig7,
+		"workloads":         wk,
 		"energy":            energy,
 		"pareto":            pareto,
 		"redundancy":        redundancy,
@@ -59,7 +65,7 @@ func TestRegistrySmokeAllExperiments(t *testing.T) {
 	}
 	overrides := smokeParams()
 	names := Experiments()
-	if len(names) < 14 {
+	if len(names) < 15 {
 		t.Fatalf("registry holds only %d experiments: %v", len(names), names)
 	}
 	for _, name := range names {

@@ -16,7 +16,7 @@ func TestParamsRejectUnknownFields(t *testing.T) {
 	for _, tc := range []struct{ name, params string }{
 		{"fig5", `{"trails": 500}`},
 		{"fig5", `{"CDF": {"Truns": 500}}`}, // nested typo
-		{"fig7", `[{"Trails": 500}]`}, // fig7 params are a per-app list
+		{"fig7", `[{"Trails": 500}]`},       // fig7 params are a per-app list
 		{"width", `{"rows": 10, "Bogus": 1}`},
 	} {
 		_, err := Run(context.Background(), tc.name, &Runner{Params: json.RawMessage(tc.params)})

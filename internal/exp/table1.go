@@ -89,7 +89,10 @@ func Table1Table(rows []Table1Row) *Table {
 // table1Experiment adapts the summary to the registry.
 type table1Experiment struct{}
 
-func (table1Experiment) Name() string       { return "table1" }
+func (table1Experiment) Name() string { return "table1" }
+func (table1Experiment) Description() string {
+	return "evaluation applications and datasets (Table 1)"
+}
 func (table1Experiment) DefaultParams() any { return DefaultTable1Params() }
 
 func (e table1Experiment) Run(ctx context.Context, r *Runner) (*Result, error) {

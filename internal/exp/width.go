@@ -129,7 +129,10 @@ func log2u(v uint64) int {
 // widthExperiment adapts the width generalization to the registry.
 type widthExperiment struct{}
 
-func (widthExperiment) Name() string       { return "width" }
+func (widthExperiment) Name() string { return "width" }
+func (widthExperiment) Description() string {
+	return "word-width generalization: shuffle vs SECDED at W=16/32/64"
+}
 func (widthExperiment) DefaultParams() any { return DefaultWidthParams() }
 
 func (e widthExperiment) Run(ctx context.Context, r *Runner) (*Result, error) {

@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"runtime"
+	"testing"
+)
+
+// renderTable renders a table to text for byte-level comparison.
+func renderTable(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// smokeWorkloadsParams returns a small-budget campaign config covering
+// the two non-ML workloads (the ML trio's engine path is pinned by the
+// fig7 golden-equivalence test).
+func smokeWorkloadsParams() WorkloadsParams {
+	p := DefaultWorkloadsParams()
+	p.Workloads = []string{"rsort", "cgsolve"}
+	p.Trials = 4
+	p.Rows = 512
+	p.Keys = 1024
+	p.Dim = 24
+	return p
+}
+
+// TestWorkloadsWorkerCountInvariance extends the engine's determinism
+// contract to the new workload family: one RNG stream per trial, so
+// the quality samples are bit-identical for any worker count.
+func TestWorkloadsWorkerCountInvariance(t *testing.T) {
+	p := smokeWorkloadsParams()
+	run := func(workers int) WorkloadsResult {
+		q := p
+		q.Workers = workers
+		res, err := Workloads(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	if len(ref.Runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(ref.Runs))
+	}
+	for _, w := range []int{3, runtime.GOMAXPROCS(0)} {
+		got := run(w)
+		for ri := range ref.Runs {
+			a, b := ref.Runs[ri], got.Runs[ri]
+			if a.Workload != b.Workload || math.Float64bits(a.Clean) != math.Float64bits(b.Clean) {
+				t.Fatalf("workers=%d run %d: identity drifted (%s/%g vs %s/%g)",
+					w, ri, a.Workload, a.Clean, b.Workload, b.Clean)
+			}
+			for ai := range a.Arms {
+				aq, bq := a.Arms[ai].Qualities, b.Arms[ai].Qualities
+				if len(aq) != len(bq) {
+					t.Fatalf("workers=%d %s arm %v: %d samples != %d",
+						w, a.Workload, a.Arms[ai].Scheme, len(bq), len(aq))
+				}
+				for qi := range aq {
+					if math.Float64bits(aq[qi]) != math.Float64bits(bq[qi]) {
+						t.Fatalf("workers=%d %s arm %v sample %d: %v != %v",
+							w, a.Workload, a.Arms[ai].Scheme, qi, bq[qi], aq[qi])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkloadsAllArms pins the campaign's arm coverage: every
+// registered protection scheme appears, in AllProtections order, with a
+// full quality sample.
+func TestWorkloadsAllArms(t *testing.T) {
+	p := smokeWorkloadsParams()
+	p.Workloads = []string{"rsort"}
+	res, err := Workloads(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AllProtections()
+	arms := res.Runs[0].Arms
+	if len(arms) != len(want) {
+		t.Fatalf("%d arms, want %d", len(arms), len(want))
+	}
+	for i, a := range arms {
+		if a.Scheme != want[i] {
+			t.Errorf("arm %d is %v, want %v", i, a.Scheme, want[i])
+		}
+		if len(a.Qualities) != p.Trials {
+			t.Errorf("arm %v holds %d samples, want %d", a.Scheme, len(a.Qualities), p.Trials)
+		}
+		for _, q := range a.Qualities {
+			if q < 0 || q > 1 || math.IsNaN(q) {
+				t.Errorf("arm %v quality %v outside [0,1]", a.Scheme, q)
+			}
+		}
+	}
+}
+
+// TestWorkloadsParamValidation pins the campaign's input contract:
+// unknown and duplicate workload names, and degenerate Monte-Carlo
+// geometry, fail loudly.
+func TestWorkloadsParamValidation(t *testing.T) {
+	base := smokeWorkloadsParams()
+	bad := base
+	bad.Workloads = []string{"bogus"}
+	if _, err := Workloads(bad); err == nil {
+		t.Error("unknown workload name accepted")
+	}
+	bad = base
+	bad.Workloads = []string{"rsort", "rsort"}
+	if _, err := Workloads(bad); err == nil {
+		t.Error("duplicate workload name accepted")
+	}
+	bad = base
+	bad.Trials = 0
+	if _, err := Workloads(bad); err == nil {
+		t.Error("zero trials accepted")
+	}
+	bad = base
+	bad.Pcell = 1
+	if _, err := Workloads(bad); err == nil {
+		t.Error("Pcell=1 accepted")
+	}
+}
+
+// TestWorkloadsRegistryMatchesDirect pins the registry adapter against
+// the direct entrypoint: same tables, and the -quick clamp lands on
+// QuickWorkloadsTrials.
+func TestWorkloadsRegistryMatchesDirect(t *testing.T) {
+	p := smokeWorkloadsParams()
+	direct, err := Workloads(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), "workloads", &Runner{Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2*len(direct.Runs) {
+		t.Fatalf("%d tables, want %d", len(res.Tables), 2*len(direct.Runs))
+	}
+	for i, run := range direct.Runs {
+		wantCDF := renderTable(t, direct.QualityCDFTable(run))
+		wantSum := renderTable(t, direct.SummaryTable(run))
+		if got := renderTable(t, res.Tables[2*i]); got != wantCDF {
+			t.Errorf("run %d: registry CDF table differs from direct path", i)
+		}
+		if got := renderTable(t, res.Tables[2*i+1]); got != wantSum {
+			t.Errorf("run %d: registry summary table differs from direct path", i)
+		}
+	}
+
+	quick := p
+	quick.Trials = QuickWorkloadsTrials + 100
+	res, err = Run(context.Background(), "workloads", &Runner{Params: quick, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Params.(WorkloadsParams).Trials; got != QuickWorkloadsTrials {
+		t.Fatalf("quick tier ran %d trials, want %d", got, QuickWorkloadsTrials)
+	}
+}

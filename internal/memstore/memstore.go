@@ -231,6 +231,31 @@ func (c Codec) EncodeDatasetInto(ws *Workspace, x *mat.Dense, y []float64) {
 	clear(ws.images) // cached images encode the previous dataset
 }
 
+// EncodeValuesInto quantizes a flat value slice once into the
+// workspace's word cache — the shapeless sibling of EncodeDatasetInto
+// for workloads whose memory-resident data is not a feature matrix
+// (sorting keys, solver coefficients). Read the corrupted values back
+// per trial with RoundTripCachedValues.
+func (c Codec) EncodeValuesInto(ws *Workspace, vals []float64) {
+	if len(vals) == 0 {
+		panic("memstore: EncodeValuesInto of empty slice")
+	}
+	if c.Frac < 0 || c.Frac > 31 {
+		panic(fmt.Sprintf("memstore: fractional bits %d outside [0,31]", c.Frac))
+	}
+	if cap(ws.words) < len(vals) {
+		ws.words = make([]uint32, len(vals))
+	}
+	words := ws.words[:len(vals)]
+	scale := c.scale()
+	for i, v := range vals {
+		words[i] = encodeScaled(v, scale)
+	}
+	ws.words = words
+	ws.cachedRows, ws.cachedCols = 0, 0 // no dataset shape cached
+	clear(ws.images)                    // cached images encode the previous data
+}
+
 // imageFor returns the physical image of the cached words under the
 // memory's encode transform, computing and caching it on first use.
 func (ws *Workspace) imageFor(iw mem.ImageWriter, key string) []uint64 {
@@ -266,6 +291,42 @@ func (c Codec) RoundTripCachedInto(ws *Workspace, m mem.Word32) (*mat.Dense, []f
 	if rows == 0 {
 		panic("memstore: RoundTripCachedInto before EncodeDatasetInto")
 	}
+	flat := c.roundTripCachedWords(ws, m)
+
+	if ws.x == nil {
+		ws.x = mat.NewDense(rows, cols)
+	} else if r, cc := ws.x.Dims(); r != rows || cc != cols {
+		ws.x = mat.NewDense(rows, cols)
+	}
+	for i := 0; i < rows; i++ {
+		ws.x.SetRow(i, flat[i*cols:(i+1)*cols])
+	}
+	if cap(ws.y) < rows {
+		ws.y = make([]float64, rows)
+	}
+	yOut := ws.y[:rows]
+	copy(yOut, flat[rows*cols:])
+	ws.y = yOut
+	return ws.x, yOut
+}
+
+// RoundTripCachedValues streams the cached words (EncodeValuesInto or
+// EncodeDatasetInto) through the memory page by page and returns the
+// decoded flat values — the shapeless sibling of RoundTripCachedInto
+// with the same fast-path dispatch and the same aliasing rules (the
+// returned slice is workspace scratch, valid until the next round
+// trip). It panics if no values have been cached.
+func (c Codec) RoundTripCachedValues(ws *Workspace, m mem.Word32) []float64 {
+	if len(ws.words) == 0 {
+		panic("memstore: RoundTripCachedValues before EncodeValuesInto")
+	}
+	return c.roundTripCachedWords(ws, m)
+}
+
+// roundTripCachedWords is the shared paging core of the cached round
+// trips: it streams ws.words through the memory page by page into
+// ws.flat and returns the decoded values.
+func (c Codec) roundTripCachedWords(ws *Workspace, m mem.Word32) []float64 {
 	pageWords := m.Words()
 	if pageWords == 0 {
 		panic("memstore: empty memory")
@@ -317,22 +378,7 @@ func (c Codec) RoundTripCachedInto(ws *Workspace, m mem.Word32) (*mat.Dense, []f
 			flat[i] = float64(int32(m.Read(i-start))) / scale
 		}
 	}
-
-	if ws.x == nil {
-		ws.x = mat.NewDense(rows, cols)
-	} else if r, cc := ws.x.Dims(); r != rows || cc != cols {
-		ws.x = mat.NewDense(rows, cols)
-	}
-	for i := 0; i < rows; i++ {
-		ws.x.SetRow(i, flat[i*cols:(i+1)*cols])
-	}
-	if cap(ws.y) < rows {
-		ws.y = make([]float64, rows)
-	}
-	yOut := ws.y[:rows]
-	copy(yOut, flat[rows*cols:])
-	ws.y = yOut
-	return ws.x, yOut
+	return flat
 }
 
 // WordsNeeded returns the number of 32-bit words a dataset of the given

@@ -371,6 +371,62 @@ func TestDistributedMultiStageExperiment(t *testing.T) {
 	}
 }
 
+// TestDistributedWorkloadsCampaign extends the zero-local-fallback
+// contract to the workloads campaign from day one: its shard output is
+// the gob-encodable workload.ShardOut, so every per-workload stage must
+// travel to a healthy pool with no JobError tag-poisoning and no local
+// degradation, and the merged result must match the single-host run
+// byte for byte.
+func TestDistributedWorkloadsCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed workloads run is a slower e2e case")
+	}
+	params := json.RawMessage(`{"Workloads": ["rsort", "cgsolve"], "Trials": 8, "Rows": 256, "Keys": 1024, "Dim": 24}`)
+	runner := func() *exp.Runner {
+		r := testRunner()
+		r.Params = params
+		return r
+	}
+
+	c := startCoordinator(t)
+	for i := 0; i < 3; i++ {
+		startWorker(t, c.Addr().String())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.AwaitWorkers(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Run(ctx, "workloads", runner())
+	if err != nil {
+		t.Fatalf("distributed workloads: %v", err)
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localRes, err := exp.Run(context.Background(), "workloads", runner())
+	if err != nil {
+		t.Fatalf("local workloads: %v", err)
+	}
+	want, err := localRes.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("distributed workloads output diverged from single-host run")
+	}
+	st := c.Stats()
+	if st.RemoteShards == 0 {
+		t.Fatalf("no workloads shards were computed remotely: %+v", st)
+	}
+	if st.JobErrors != 0 || st.LocalShards != 0 {
+		t.Fatalf("workloads stages must distribute fully on a healthy pool, not degrade to local: %+v", st)
+	}
+}
+
 // TestJobErrorPoisonsTagToLocal: a protocol-level worker that fails
 // every job it is handed drives the JobError → poisoned tag →
 // local-compute degradation end to end. (The organic driver went away:

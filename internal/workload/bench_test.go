@@ -1,0 +1,51 @@
+package workload_test
+
+import (
+	"testing"
+
+	"faultmem/internal/exp"
+	"faultmem/internal/stats"
+	"faultmem/internal/workload"
+)
+
+// BenchmarkWorkloadTrial measures one warm Monte-Carlo trial per
+// registered workload — fault map plus all eight protection arms
+// (round-trip + run + score), the unit the workloads campaign's Trials
+// budget scales by. CI records it via benchreport -filter.
+func BenchmarkWorkloadTrial(b *testing.B) {
+	prots := exp.AllProtections()
+	arms := make([]workload.Arm, len(prots))
+	for i, p := range prots {
+		arms[i] = p
+	}
+	for _, id := range workload.All() {
+		b.Run(id.String(), func(b *testing.B) {
+			wl, err := id.Workload()
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst, err := wl.Prepare(workload.Params{Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner := workload.NewTrialRunner(inst, workload.Config{
+				Name:  id.String(),
+				Rows:  4096,
+				Pcell: 1e-3,
+				Arms:  arms,
+			})
+			seedBase := stats.DeriveSeed(7, 1000)
+			var buf []float64
+			if buf, err = runner.RunTrial(seedBase, 0, buf[:0]); err != nil {
+				b.Fatal(err) // warm every arm's scratch before timing
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if buf, err = runner.RunTrial(seedBase, i+1, buf[:0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"faultmem/internal/memstore"
+	"faultmem/internal/stats"
+)
+
+// Default CG geometry: a 64x64 SPD system solved with a 64-iteration
+// budget (exact-arithmetic CG converges in at most Dim steps).
+const defaultCGDim = 64
+
+// cgWorkload is a selective-reliability conjugate-gradient solve
+// (Bridges et al.): the system coefficients — the SPD matrix A and the
+// right-hand side b — live in the faulty memory, while the solver's
+// dynamic state (the solution x, residual r, and direction vectors)
+// stays in safe memory. The trial runs a fixed CG iteration budget
+// against the corrupted coefficients and is judged by the relative
+// residual of its solution under the CLEAN system, so a corrupted
+// coefficient hurts exactly as much as it steers the iteration away
+// from the true solution. Quality maps the residual onto [0, 1] on a
+// log scale: 1 at the fault-free converged residual, 0 at relative
+// residual 1 (the zero-vector baseline) or any non-finite breakdown.
+type cgWorkload struct{}
+
+func (cgWorkload) Name() string   { return "cgsolve" }
+func (cgWorkload) Metric() string { return "Relative Residual" }
+
+// cgInstance is read-only after Prepare: the clean flattened system
+// [A row-major | b], its geometry, and the fault-free reference
+// residual.
+type cgInstance struct {
+	flat  []float64 // codec-exact A (dim*dim) then b (dim)
+	dim   int
+	iters int
+	res0  float64 // fault-free relative residual after iters steps
+	normB float64
+}
+
+// cgScratch is the per-shard safe-memory working set.
+type cgScratch struct {
+	x, r, p, ap []float64
+}
+
+func (w cgWorkload) Prepare(p Params) (Instance, error) {
+	dim := p.Dim
+	if dim == 0 {
+		dim = defaultCGDim
+	}
+	if dim < 2 {
+		return nil, fmt.Errorf("workload: cgsolve needs dimension >= 2, got %d", dim)
+	}
+	iters := p.Iters
+	if iters == 0 {
+		iters = dim
+	}
+	if iters < 1 {
+		return nil, fmt.Errorf("workload: cgsolve needs at least 1 iteration, got %d", iters)
+	}
+	inst := &cgInstance{flat: make([]float64, dim*dim+dim), dim: dim, iters: iters}
+	rng := stats.Derive(p.Seed, 78)
+	codec := memstore.DefaultCodec()
+
+	// A = M^T M / dim + I is SPD with a decent condition number; snap
+	// every coefficient to the fixed-point grid so a fault-free round
+	// trip is bit-identical and the no-fault trial scores exactly 1.0.
+	m := make([]float64, dim*dim)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	a := inst.flat[:dim*dim]
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			s := 0.0
+			for k := 0; k < dim; k++ {
+				s += m[k*dim+i] * m[k*dim+j]
+			}
+			s /= float64(dim)
+			if i == j {
+				s++
+			}
+			a[i*dim+j] = codec.Decode(codec.Encode(s))
+		}
+	}
+	// Quantization breaks exact symmetry ties never — Encode is a pure
+	// function of the value and A was symmetric before snapping — so the
+	// stored A stays SPD for CG's purposes.
+	b := inst.flat[dim*dim:]
+	for i := range b {
+		b[i] = codec.Decode(codec.Encode(rng.NormFloat64() * 10))
+	}
+	inst.normB = norm2(b)
+	if inst.normB == 0 {
+		return nil, fmt.Errorf("workload: cgsolve zero right-hand side")
+	}
+
+	// Fault-free reference: CG on the clean coefficients.
+	s := &cgScratch{}
+	x := runCG(s, a, b, dim, iters)
+	inst.res0 = inst.relResidual(x)
+	if !(inst.res0 < 1) {
+		return nil, fmt.Errorf("workload: fault-free CG did not converge (relative residual %g)", inst.res0)
+	}
+	return inst, nil
+}
+
+func (inst *cgInstance) Metric() string { return "Relative Residual" }
+func (inst *cgInstance) Clean() float64 { return inst.res0 }
+
+func (inst *cgInstance) StoreOn(ws *Workspace) {
+	ws.Codec.EncodeValuesInto(&ws.Store, inst.flat)
+}
+
+func (inst *cgInstance) RunTrial(ws *Workspace, _ *rand.Rand) (float64, error) {
+	vals := ws.Codec.RoundTripCachedValues(&ws.Store, ws.Mem)
+	if len(vals) != len(inst.flat) {
+		return 0, fmt.Errorf("workload: cgsolve round trip returned %d values for %d coefficients", len(vals), len(inst.flat))
+	}
+	s, ok := ws.Scratch.(*cgScratch)
+	if !ok {
+		s = &cgScratch{}
+		ws.Scratch = s
+	}
+	d := inst.dim
+	// Iterate against the corrupted coefficients (persistent faults:
+	// every read of a cell sees the same corruption, so one snapshot per
+	// trial is exact), judge against the clean system.
+	x := runCG(s, vals[:d*d], vals[d*d:], d, inst.iters)
+	res := inst.relResidual(x)
+	switch {
+	case !(res >= 0) || math.IsInf(res, 0): // NaN or +Inf: solver breakdown
+		return 0, nil
+	case res <= inst.res0:
+		return 1, nil
+	case res >= 1:
+		return 0, nil
+	default:
+		// log-scale interpolation between the converged reference
+		// (quality 1) and the zero-vector baseline (quality 0).
+		return math.Log(res) / math.Log(inst.res0), nil
+	}
+}
+
+// relResidual returns ||b - A x|| / ||b|| under the CLEAN system.
+func (inst *cgInstance) relResidual(x []float64) float64 {
+	d := inst.dim
+	a, b := inst.flat[:d*d], inst.flat[d*d:]
+	var ss float64
+	for i := 0; i < d; i++ {
+		ri := b[i]
+		row := a[i*d : (i+1)*d]
+		for j, v := range row {
+			ri -= v * x[j]
+		}
+		ss += ri * ri
+	}
+	return math.Sqrt(ss) / inst.normB
+}
+
+// runCG runs the conjugate-gradient iteration x_0 = 0 on the (possibly
+// corrupted) system, reusing the scratch vectors, and returns s.x. It
+// stops early only on exact or non-finite residual breakdown; the
+// returned x is whatever the iteration reached.
+func runCG(s *cgScratch, a, b []float64, dim, iters int) []float64 {
+	if cap(s.x) < dim {
+		s.x = make([]float64, dim)
+		s.r = make([]float64, dim)
+		s.p = make([]float64, dim)
+		s.ap = make([]float64, dim)
+	}
+	x, r, p, ap := s.x[:dim], s.r[:dim], s.p[:dim], s.ap[:dim]
+	for i := range x {
+		x[i] = 0
+		r[i] = b[i]
+		p[i] = b[i]
+	}
+	rs := dot(r, r)
+	for it := 0; it < iters; it++ {
+		if rs == 0 || !isFinite(rs) {
+			break
+		}
+		// ap = A p
+		for i := 0; i < dim; i++ {
+			row := a[i*dim : (i+1)*dim]
+			s := 0.0
+			for j, v := range row {
+				s += v * p[j]
+			}
+			ap[i] = s
+		}
+		pap := dot(p, ap)
+		if pap == 0 || !isFinite(pap) {
+			break
+		}
+		alpha := rs / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return x
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func norm2(v []float64) float64 { return math.Sqrt(dot(v, v)) }
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

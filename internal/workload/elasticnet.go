@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"faultmem/internal/dataset"
+	"faultmem/internal/mat"
+	"faultmem/internal/ml"
+)
+
+// elasticNetWorkload is the wine-quality regression benchmark
+// (Fig. 7a): elastic-net linear regression retrained per trial on the
+// corrupted training set, scored by R^2 on the clean test split.
+type elasticNetWorkload struct{}
+
+func (elasticNetWorkload) Name() string   { return "elasticnet" }
+func (elasticNetWorkload) Metric() string { return "R^2" }
+
+func (w elasticNetWorkload) Prepare(p Params) (Instance, error) {
+	ds := dataset.Wine(p.Seed)
+	train, test := ds.Split(0.8, p.Seed+1)
+	mi := &mlInstance{metric: w.Metric(), train: train, test: test}
+	mi.evaluate = func(ws *ml.Workspace, x *mat.Dense, y []float64) (float64, error) {
+		en := ml.NewElasticNet()
+		if err := en.FitIn(ws, x, y); err != nil {
+			return 0, err
+		}
+		return en.ScoreIn(ws, test.X, test.Y), nil
+	}
+	if err := mi.finish(w.Name()); err != nil {
+		return nil, err
+	}
+	return mi, nil
+}

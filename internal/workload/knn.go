@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"faultmem/internal/dataset"
+	"faultmem/internal/mat"
+	"faultmem/internal/ml"
+)
+
+// knnWorkload is the activity-recognition classification benchmark
+// (Fig. 7c): a 5-NN classifier refit per trial on the corrupted
+// training set, scored by accuracy on the clean test split.
+type knnWorkload struct{}
+
+func (knnWorkload) Name() string   { return "knn" }
+func (knnWorkload) Metric() string { return "Score" }
+
+func (w knnWorkload) Prepare(p Params) (Instance, error) {
+	ds := dataset.HAR(p.Seed, dataset.DefaultHAR())
+	train, test := ds.Split(0.8, p.Seed+1)
+	mi := &mlInstance{metric: w.Metric(), train: train, test: test}
+	mi.evaluate = func(ws *ml.Workspace, x *mat.Dense, y []float64) (float64, error) {
+		knn := ml.NewKNN(5)
+		if err := knn.FitIn(ws, x, y); err != nil {
+			return 0, err
+		}
+		return knn.ScoreIn(ws, test.X, test.Y), nil
+	}
+	if err := mi.finish(w.Name()); err != nil {
+		return nil, err
+	}
+	return mi, nil
+}

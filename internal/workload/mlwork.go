@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faultmem/internal/dataset"
+	"faultmem/internal/mat"
+	"faultmem/internal/ml"
+)
+
+// mlInstance is the shared Instance behind the three data-mining
+// benchmarks: the training set lives in faulty memory, is round-tripped
+// per trial, and the model retrains on the corrupted copy and scores on
+// the clean test split. evaluate trains on (x, y) using the caller's
+// ml.Workspace scratch (nil allocates fresh). A fit error is a
+// programming error (dimension mismatch, n < 2) — never fault-induced —
+// so it propagates instead of being folded into the quality CDF as a
+// silent 0.
+type mlInstance struct {
+	metric      string
+	train, test *dataset.Dataset
+	clean       float64
+	evaluate    func(ws *ml.Workspace, x *mat.Dense, y []float64) (float64, error)
+}
+
+func (mi *mlInstance) Metric() string { return mi.metric }
+func (mi *mlInstance) Clean() float64 { return mi.clean }
+
+func (mi *mlInstance) StoreOn(ws *Workspace) {
+	// The clean training set is identical across every (trial, arm) the
+	// shard runs: quantize and flatten it once.
+	ws.Codec.EncodeDatasetInto(&ws.Store, mi.train.X, mi.train.Y)
+}
+
+func (mi *mlInstance) RunTrial(ws *Workspace, _ *rand.Rand) (float64, error) {
+	// xc/yc alias the shard workspace; evaluate consumes them fully
+	// before the next arm refills it.
+	xc, yc := ws.Codec.RoundTripCachedInto(&ws.Store, ws.Mem)
+	q, err := mi.evaluate(&ws.ML, xc, yc)
+	if err != nil {
+		return 0, err
+	}
+	return ml.NormalizeQuality(q, mi.clean), nil
+}
+
+// finish computes the fault-free reference metric and validates it, the
+// last step of every ML workload's Prepare.
+func (mi *mlInstance) finish(name string) error {
+	clean, err := mi.evaluate(nil, mi.train.X, mi.train.Y)
+	if err != nil {
+		return fmt.Errorf("workload: fault-free %s fit: %w", name, err)
+	}
+	mi.clean = clean
+	if mi.clean <= 0 {
+		return fmt.Errorf("workload: fault-free %s metric %g is not positive", name, mi.clean)
+	}
+	return nil
+}

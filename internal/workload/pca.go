@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"faultmem/internal/dataset"
+	"faultmem/internal/mat"
+	"faultmem/internal/ml"
+)
+
+// pcaWorkload is the Madelon dimensionality-reduction benchmark
+// (Fig. 7b): a top-10 PCA refit per trial on the corrupted training
+// set, scored by the explained variance captured on the clean test
+// split.
+type pcaWorkload struct{}
+
+func (pcaWorkload) Name() string   { return "pca" }
+func (pcaWorkload) Metric() string { return "Explained Variance" }
+
+func (w pcaWorkload) Prepare(p Params) (Instance, error) {
+	mp := dataset.DefaultMadelon()
+	if p.MadelonPaperSize {
+		mp = dataset.PaperMadelon()
+	}
+	ds := dataset.Madelon(p.Seed, mp)
+	train, test := ds.Split(0.8, p.Seed+1)
+	mi := &mlInstance{metric: w.Metric(), train: train, test: test}
+
+	k := 10
+	// One fit on the clean training set seeds the eigensolver for
+	// every trial fit: the converged clean-data subspace is a pure
+	// function of the workload — independent of worker count and
+	// trial order — so warm-started trial fits keep bit-identical
+	// sharding while the subspace iteration only has to track the
+	// fault-induced covariance perturbation instead of reconverging
+	// from the fixed pseudo-random basis. Shared read-only across
+	// shards.
+	var warm *mat.Dense
+	{
+		var cws ml.Workspace
+		warmFit := ml.NewPCA(k)
+		if err := warmFit.FitIn(&cws, train.X); err == nil {
+			warm = cws.EigenSubspace()
+		}
+	}
+	mi.evaluate = func(ws *ml.Workspace, x *mat.Dense, _ []float64) (float64, error) {
+		pca := ml.NewPCA(k)
+		pca.Warm = warm
+		if err := pca.FitIn(ws, x); err != nil {
+			return 0, err
+		}
+		return pca.ExplainedVarianceOnIn(ws, test.X), nil
+	}
+	if err := mi.finish(w.Name()); err != nil {
+		return nil, err
+	}
+	return mi, nil
+}

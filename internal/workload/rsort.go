@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"faultmem/internal/memstore"
+	"faultmem/internal/stats"
+)
+
+// defaultRSortKeys is the default key count: two 4096-word pages of the
+// 16 KB macro, so the array experiences the fault map twice.
+const defaultRSortKeys = 8192
+
+// rsortWorkload is resilient merge sorting under memory faults in the
+// small-safe-memory model (Kopelowitz & Talmon): the key array lives in
+// the faulty memory, while the safe memory holds only the algorithm's
+// control state — the index permutation and merge scratch, O(n) words
+// of indices but zero key values. Every comparison reads the
+// (possibly corrupted) key from unreliable storage, so a single faulty
+// cell can misplace the keys of a whole merge run; protection arms that
+// bound the error magnitude bound the displacement. Quality is the
+// fraction of keys placed at their fault-free position.
+type rsortWorkload struct{}
+
+func (rsortWorkload) Name() string   { return "rsort" }
+func (rsortWorkload) Metric() string { return "Correctly Placed Keys" }
+
+// rsortInstance is read-only after Prepare: the clean keys and the
+// position each key occupies in the fault-free sort.
+type rsortInstance struct {
+	keys  []float64 // clean keys, codec-exact (quantization round-trips bit-identically)
+	place []int     // place[j] = fault-free sorted position of keys[j]
+}
+
+// rsortScratch is the per-shard safe-memory working set.
+type rsortScratch struct {
+	idx []int
+	tmp []int
+}
+
+func (w rsortWorkload) Prepare(p Params) (Instance, error) {
+	n := p.Keys
+	if n == 0 {
+		n = defaultRSortKeys
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("workload: rsort needs at least 2 keys, got %d", n)
+	}
+	inst := &rsortInstance{keys: make([]float64, n), place: make([]int, n)}
+	rng := stats.Derive(p.Seed, 77)
+	codec := memstore.DefaultCodec()
+	for i := range inst.keys {
+		// Snap each key to the fixed-point grid so storing it in a
+		// fault-free memory reads back bit-identically: a no-fault trial
+		// then scores exactly 1.0.
+		inst.keys[i] = codec.Decode(codec.Encode(rng.Float64()*2000 - 1000))
+	}
+	// The fault-free placement, with index tie-break — the same total
+	// order the trial sort uses, so equal keys cannot cost quality.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if inst.keys[ia] != inst.keys[ib] {
+			return inst.keys[ia] < inst.keys[ib]
+		}
+		return ia < ib
+	})
+	for pos, j := range order {
+		inst.place[j] = pos
+	}
+	return inst, nil
+}
+
+func (inst *rsortInstance) Metric() string { return "Correctly Placed Keys" }
+func (inst *rsortInstance) Clean() float64 { return 1 }
+
+func (inst *rsortInstance) StoreOn(ws *Workspace) {
+	ws.Codec.EncodeValuesInto(&ws.Store, inst.keys)
+}
+
+func (inst *rsortInstance) RunTrial(ws *Workspace, _ *rand.Rand) (float64, error) {
+	vals := ws.Codec.RoundTripCachedValues(&ws.Store, ws.Mem)
+	s, ok := ws.Scratch.(*rsortScratch)
+	if !ok {
+		s = &rsortScratch{idx: make([]int, len(vals)), tmp: make([]int, len(vals))}
+		ws.Scratch = s
+	}
+	if len(s.idx) != len(vals) {
+		return 0, fmt.Errorf("workload: rsort scratch sized %d for %d keys", len(s.idx), len(vals))
+	}
+	mergeSortByValue(s.idx, s.tmp, vals)
+	correct := 0
+	for pos, j := range s.idx {
+		if inst.place[j] == pos {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(vals)), nil
+}
+
+// mergeSortByValue bottom-up merge sorts the identity permutation into
+// idx, ordering indices by vals (index tie-break), using tmp as the
+// merge buffer. Allocation-free on warm buffers.
+func mergeSortByValue(idx, tmp []int, vals []float64) {
+	n := len(vals)
+	for i := range idx[:n] {
+		idx[i] = i
+	}
+	src, dst := idx[:n], tmp[:n]
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := min(lo+width, n)
+			hi := min(lo+2*width, n)
+			i, j := lo, mid
+			for k := lo; k < hi; k++ {
+				switch {
+				case i >= mid:
+					dst[k] = src[j]
+					j++
+				case j >= hi:
+					dst[k] = src[i]
+					i++
+				case less(vals, src[j], src[i]):
+					dst[k] = src[j]
+					j++
+				default:
+					dst[k] = src[i]
+					i++
+				}
+			}
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &idx[0] {
+		copy(idx[:n], src)
+	}
+}
+
+// less orders indices a-before-b by value with index tie-break: the
+// unique total order both the trial sort and the fault-free placement
+// use.
+func less(vals []float64, a, b int) bool {
+	if vals[a] != vals[b] {
+		return vals[a] < vals[b]
+	}
+	return a < b
+}

@@ -1,0 +1,108 @@
+// Package workload defines the error-resilient applications that run
+// against faulty memories: a Workload prepares an immutable Instance
+// (dataset or problem generation plus the fault-free reference), and
+// the Instance executes Monte-Carlo trials against whatever protected
+// memory the engine installs in its Workspace. The package owns the
+// generic per-shard trial loop (TrialRunner) — per-arm memory reset,
+// codeword-image caching, workspace reuse — so the warm-trial
+// optimizations apply to every current and future workload, and adding
+// an application means implementing two small interfaces instead of
+// editing the Fig. 7 experiment.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faultmem/internal/fault"
+	"faultmem/internal/mem"
+	"faultmem/internal/memstore"
+	"faultmem/internal/ml"
+)
+
+// Params configures instance preparation. One flat struct serves every
+// workload; each reads only the knobs it understands, and zero values
+// select the documented defaults.
+type Params struct {
+	// Seed drives dataset/problem generation and the train/test split.
+	Seed int64
+	// MadelonPaperSize switches the PCA workload to the full 500-feature
+	// geometry (slow; default false uses 100 features).
+	MadelonPaperSize bool
+	// Keys is the resilient-sort key count (0 = 8192).
+	Keys int
+	// Dim is the CG system dimension (0 = 64).
+	Dim int
+	// Iters is the CG iteration budget (0 = Dim).
+	Iters int
+}
+
+// Workload is one error-resilient application. Implementations are
+// stateless descriptors; all per-run state lives in the Instance.
+type Workload interface {
+	// Name is the canonical lowercase identifier ("elasticnet", "rsort").
+	Name() string
+	// Metric names the quality metric before normalization ("R^2").
+	Metric() string
+	// Prepare generates the problem instance and its fault-free
+	// reference. The returned Instance must be safe for concurrent use
+	// from many shards: read-only after Prepare, with all mutable trial
+	// scratch kept in the per-shard Workspace.
+	Prepare(p Params) (Instance, error)
+}
+
+// Instance is a prepared problem ready to run trials against faulty
+// memories. Instances are shared read-only across engine shards.
+type Instance interface {
+	// StoreOn quantizes the instance's memory-resident data into the
+	// workspace's clean-word cache (once per shard); trials then pay only
+	// the fault-dependent round-trip work.
+	StoreOn(ws *Workspace)
+	// RunTrial runs the application once against ws.Mem (installed by the
+	// TrialRunner with the trial's fault map) and returns the normalized
+	// quality in [0, 1], where 1 is fault-free behaviour. An error is a
+	// programming error — never fault-induced — and aborts the shard.
+	// rng is the trial's RNG stream, positioned after the engine's fault
+	// draws; deterministic workloads ignore it.
+	RunTrial(ws *Workspace, rng *rand.Rand) (quality float64, err error)
+	// Metric names the quality metric before normalization.
+	Metric() string
+	// Clean is the fault-free reference value of the metric (quality 1.0).
+	Clean() float64
+}
+
+// Workspace is the per-shard mutable state of a trial pipeline: the
+// fixed-point codec, the clean-word/codeword-image cache, the ML fit
+// scratch, and the memory under test. Instances needing scratch beyond
+// these hang it off Scratch, keyed by their own type, so warm trials
+// stay allocation-free without the Instance itself becoming mutable.
+type Workspace struct {
+	Codec memstore.Codec
+	Store memstore.Workspace
+	ML    ml.Workspace
+	// Mem is the protected memory of the current (trial, arm), installed
+	// by the TrialRunner before each RunTrial call.
+	Mem mem.Word32
+	// Scratch is instance-defined per-shard scratch (nil until the
+	// instance's first trial on this workspace).
+	Scratch any
+}
+
+// Arm is a buildable protection scheme. exp.Protection satisfies it;
+// the indirection keeps this package free of an import cycle with the
+// experiment layer.
+type Arm interface {
+	fmt.Stringer
+	Build(rows int, fm fault.Map) (mem.Word32, error)
+}
+
+// ShardOut is one engine shard's result: the span's trial-major,
+// arm-minor normalized qualities, plus any trial error as text. The
+// fields are exported (and the error travels as a string) so the value
+// gob-encodes: the sweep service ships workload shards to remote
+// workers instead of degrading the stage to local compute via JobError
+// tag-poisoning.
+type ShardOut struct {
+	Qs  []float64
+	Err string
+}
