@@ -78,6 +78,12 @@ func LookupWorkload(name string) (display, metric string, ok bool) {
 	return id.Display(), id.Metric(), true
 }
 
+// RecoveryPolicyNames returns the canonical names of the trial-level
+// detect-and-recover policies in escalation order ("none", "retry",
+// "saferestore") — the vocabulary of the "recovery" campaign's Policies
+// parameter.
+func RecoveryPolicyNames() []string { return workload.PolicyNames() }
+
 // DescribeExperiment returns the one-line description of a registered
 // experiment.
 func DescribeExperiment(name string) (string, bool) { return exp.Describe(name) }

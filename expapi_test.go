@@ -109,7 +109,7 @@ func TestRunExperimentCancellation(t *testing.T) {
 
 func TestWorkloadFacade(t *testing.T) {
 	names := faultmem.WorkloadNames()
-	if len(names) != 5 {
+	if len(names) != 6 {
 		t.Fatalf("%d workload names: %v", len(names), names)
 	}
 	for _, name := range names {
@@ -120,6 +120,10 @@ func TestWorkloadFacade(t *testing.T) {
 	}
 	if _, _, ok := faultmem.LookupWorkload("bogus"); ok {
 		t.Fatal("LookupWorkload accepted unknown name")
+	}
+	policies := faultmem.RecoveryPolicyNames()
+	if len(policies) != 3 || policies[0] != "none" {
+		t.Fatalf("recovery policy names: %v", policies)
 	}
 }
 

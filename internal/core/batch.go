@@ -70,6 +70,18 @@ func (s *Shuffled) WriteImage(addr int, img []uint64) {
 	s.arr.WriteBatch(addr, s.buf)
 }
 
+// ReadChecked is Read with no flag: bit-shuffling relocates error bits
+// to low-significance positions but carries no code, so it cannot
+// detect what it absorbs. Implementing mem.Detector anyway lets the
+// checked round trips treat the shuffling arms uniformly — they read
+// through the shuffle and recover nothing, the degenerate policy.
+func (s *Shuffled) ReadChecked(addr int) (uint32, bool) { return s.Read(addr), false }
+
+// ReadBatchChecked is ReadBatch with no flags (see ReadChecked).
+func (s *Shuffled) ReadBatchChecked(addr int, dst []uint32, _ *mem.DUESet, _ int) {
+	s.ReadBatch(addr, dst)
+}
+
 // growBuf returns a length-n scratch slice, reusing buf's storage when
 // it is large enough.
 func growBuf(buf []uint64, n int) []uint64 {
@@ -82,4 +94,5 @@ func growBuf(buf []uint64, n int) []uint64 {
 var (
 	_ mem.BatchMemory = (*Shuffled)(nil)
 	_ mem.ImageWriter = (*Shuffled)(nil)
+	_ mem.Detector    = (*Shuffled)(nil)
 )

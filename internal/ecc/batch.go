@@ -77,3 +77,56 @@ func (c *Code) DecodeBatch(dst, cw []uint64) (corrected, uncorrectable uint64) {
 	}
 	return corrected, uncorrectable
 }
+
+// DecodeBatchStatus is DecodeBatch with per-word outcome reporting: it
+// additionally records each word's decode Status in sts[i], so callers
+// that must know *which* words carried detected-uncorrectable errors
+// (the mem.Detector read paths) get the flags in the same pass that
+// recovers the data. The recovered data, correction decisions, counts,
+// and per-word statuses are bit-identical to calling Decode per word.
+// dst, cw, and sts must have equal length; dst and cw may be the same
+// slice.
+func (c *Code) DecodeBatchStatus(dst, cw []uint64, sts []Status) (corrected, uncorrectable uint64) {
+	if len(dst) != len(cw) || len(sts) != len(cw) {
+		panic(fmt.Sprintf("ecc: decode batch dst %d vs cw %d vs sts %d", len(dst), len(cw), len(sts)))
+	}
+	nMask := (uint64(1) << uint(c.n)) - 1
+	runs := c.runs
+	covMasks := c.covMasks
+	maxPos := c.k + c.r
+	for i, w := range cw {
+		w &= nMask
+		syn := 0
+		for j, mask := range covMasks {
+			syn |= (bits.OnesCount64(w&mask) & 1) << uint(j)
+		}
+		overall := bits.OnesCount64(w) & 1
+		st := OK
+		switch {
+		case syn == 0 && overall == 0:
+		case syn == 0 && overall == 1:
+			w ^= 1
+			corrected++
+			st = Corrected
+		case syn != 0 && overall == 1:
+			if syn > maxPos {
+				uncorrectable++
+				st = DetectedUncorrectable
+			} else {
+				w ^= uint64(1) << uint(syn)
+				corrected++
+				st = Corrected
+			}
+		default: // syn != 0 && overall == 0
+			uncorrectable++
+			st = DetectedUncorrectable
+		}
+		sts[i] = st
+		var data uint64
+		for _, run := range runs {
+			data |= (w & run.mask) >> run.shift
+		}
+		dst[i] = data
+	}
+	return corrected, uncorrectable
+}

@@ -166,6 +166,42 @@ func TestImageWriteMatchesScalarOracle(t *testing.T) {
 	}
 }
 
+// TestWarmImageStatsMatchScalarOracle pins the decode-statistics
+// contract across the image-write fast path under sustained reuse: a
+// warm loop of WriteImage + batch reads must leave exactly the Stats
+// tallies (and access counters) a word-at-a-time oracle accumulates, on
+// every arm. This is the accounting the recovery campaign's counter
+// tables are reconciled against.
+func TestWarmImageStatsMatchScalarOracle(t *testing.T) {
+	const rows = 96
+	fm := mixedFaultMap(rows)
+	words := testWords(rows)
+	for _, arm := range AllProtections() {
+		scalar, batch := twinMemories(t, arm, rows, fm)
+		iw, ok := batch.(mem.ImageWriter)
+		if !ok {
+			t.Fatalf("%v: memory does not implement mem.ImageWriter", arm)
+		}
+		bm := batch.(mem.BatchMemory)
+		img := make([]uint64, rows)
+		iw.EncodeImage(img, words)
+		got := make([]uint32, rows)
+		for round := 0; round < 3; round++ {
+			iw.WriteImage(0, img)
+			bm.ReadBatch(0, got)
+			for i, w := range words {
+				scalar.Write(i, w)
+			}
+			for i := range words {
+				if want := scalar.Read(i); got[i] != want {
+					t.Fatalf("%v: round %d word %d: scalar %#08x vs batch %#08x", arm, round, i, want, got[i])
+				}
+			}
+		}
+		checkTwinsAgree(t, arm, scalar, batch, "warm image rounds")
+	}
+}
+
 // TestBatchTransientMatchesScalar pins the transient-mode fallback:
 // with soft errors enabled, ReadBatch must draw the per-read RNG in
 // exactly the scalar order, so same-seeded twins return identical

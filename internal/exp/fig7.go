@@ -209,7 +209,7 @@ func Fig7Env(env mc.Env, p Fig7Params) (Fig7Result, error) {
 	if err != nil {
 		return Fig7Result{}, err
 	}
-	arms, err := runQualityArms(env, inst, qualityConfig{
+	arms, _, err := runQualityArms(env, inst, qualityConfig{
 		name:    strings.ToLower(p.App.String()),
 		arms:    Fig7Arms(),
 		rows:    p.Rows,

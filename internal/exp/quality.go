@@ -6,21 +6,25 @@ import (
 	"sort"
 
 	"faultmem/internal/mc"
+	"faultmem/internal/memstore"
 	"faultmem/internal/stats"
 	"faultmem/internal/workload"
 )
 
 // qualityConfig fixes one quality-vs-yield engine run: a prepared
 // workload instance pushed through a set of protection arms at a fixed
-// memory geometry and trial budget.
+// memory geometry and trial budget, optionally under a detect-and-
+// recover policy and a per-read transient fault rate.
 type qualityConfig struct {
-	name    string // canonical workload name, labels trial errors
-	arms    []Protection
-	rows    int
-	pcell   float64
-	trials  int
-	workers int
-	seed    int64
+	name      string // canonical workload name, labels trial errors
+	arms      []Protection
+	rows      int
+	pcell     float64
+	trials    int
+	workers   int
+	seed      int64
+	policy    workload.RecoveryPolicy
+	transient float64
 }
 
 // workloadArms adapts protection arms to the workload layer's Arm
@@ -35,18 +39,23 @@ func workloadArms(arms []Protection) []workload.Arm {
 }
 
 // runQualityArms is the shared Monte-Carlo engine behind fig7 and the
-// workloads campaign: it splits the trial budget into contiguous spans,
-// runs each span's trials on a per-shard workload.TrialRunner (one RNG
-// stream per trial derived from (seed, trial), so the samples are
-// bit-identical at any worker or shard count), and returns one
-// ascending-sorted quality sample per arm.
-func runQualityArms(env mc.Env, inst workload.Instance, cfg qualityConfig) ([]Fig7Arm, error) {
+// workloads/recovery campaigns: it splits the trial budget into
+// contiguous spans, runs each span's trials on a per-shard
+// workload.TrialRunner (one RNG stream per trial derived from
+// (seed, trial), so the samples are bit-identical at any worker or
+// shard count), and returns one ascending-sorted quality sample per arm
+// plus the per-arm recovery counters merged across shards (nil when the
+// policy is None — merging is order-free field sums, so the counters
+// are worker-count deterministic too).
+func runQualityArms(env mc.Env, inst workload.Instance, cfg qualityConfig) ([]Fig7Arm, []memstore.RecoveryStats, error) {
 	narms := len(cfg.arms)
 	rcfg := workload.Config{
-		Name:  cfg.name,
-		Rows:  cfg.rows,
-		Pcell: cfg.pcell,
-		Arms:  workloadArms(cfg.arms),
+		Name:          cfg.name,
+		Rows:          cfg.rows,
+		Pcell:         cfg.pcell,
+		Arms:          workloadArms(cfg.arms),
+		Policy:        cfg.policy,
+		TransientRate: cfg.transient,
 	}
 	seedBase := stats.DeriveSeed(cfg.seed, 1000)
 	spans := mc.Split(cfg.trials, mc.Workers(cfg.workers))
@@ -72,15 +81,25 @@ func runQualityArms(env mc.Env, inst workload.Instance, cfg qualityConfig) ([]Fi
 					return out
 				}
 			}
+			out.Recovery = runner.RecoveryStats()
 			return out
 		})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	for _, o := range outs {
 		if o.Err != "" {
-			return nil, errors.New(o.Err)
+			return nil, nil, errors.New(o.Err)
+		}
+	}
+	var recovery []memstore.RecoveryStats
+	if cfg.policy.Active() {
+		recovery = make([]memstore.RecoveryStats, narms)
+		for _, o := range outs {
+			for ai, s := range o.Recovery {
+				recovery[ai].Merge(s)
+			}
 		}
 	}
 	res := make([]Fig7Arm, 0, narms)
@@ -94,5 +113,5 @@ func runQualityArms(env mc.Env, inst workload.Instance, cfg qualityConfig) ([]Fi
 		sort.Float64s(qualities)
 		res = append(res, Fig7Arm{Scheme: arm, Qualities: qualities})
 	}
-	return res, nil
+	return res, recovery, nil
 }

@@ -66,6 +66,7 @@ func init() {
 	Register(fig6Experiment{})
 	Register(fig7Experiment{})
 	Register(workloadsExperiment{})
+	Register(recoveryExperiment{})
 	Register(energyExperiment{})
 	Register(redundancyExperiment{})
 	Register(paretoExperiment{})

@@ -41,11 +41,16 @@ func smokeParams() map[string]any {
 	wk.Rows = 1024
 	wk.Keys = 2048
 	wk.Dim = 32
+	rec := DefaultRecoveryParams()
+	rec.Trials = 2
+	rec.Rows = 1024
+	rec.Dim = 32
 	return map[string]any{
 		"fig2":              fig2,
 		"fig5":              fig5,
 		"fig7":              fig7,
 		"workloads":         wk,
+		"recovery":          rec,
 		"energy":            energy,
 		"pareto":            pareto,
 		"redundancy":        redundancy,
@@ -65,7 +70,7 @@ func TestRegistrySmokeAllExperiments(t *testing.T) {
 	}
 	overrides := smokeParams()
 	names := Experiments()
-	if len(names) < 15 {
+	if len(names) < 16 {
 		t.Fatalf("registry holds only %d experiments: %v", len(names), names)
 	}
 	for _, name := range names {

@@ -148,7 +148,7 @@ func (p WorkloadsParams) runOne(env mc.Env, id workload.ID) (WorkloadRun, error)
 	if err != nil {
 		return WorkloadRun{}, err
 	}
-	arms, err := runQualityArms(env, inst, qualityConfig{
+	arms, _, err := runQualityArms(env, inst, qualityConfig{
 		name:    id.String(),
 		arms:    AllProtections(),
 		rows:    p.Rows,

@@ -19,6 +19,8 @@ type ECC struct {
 	stats Stats
 	key   string // precomputed ImageKey
 	buf   []uint64
+	sts   []ecc.Status // checked-read per-word status scratch
+	scrub bool         // scrub-on-correct on the checked read paths
 	// Reset scratch: cached data-bit codeword positions and a reusable
 	// translated-fault buffer.
 	dataPos []int
@@ -135,6 +137,8 @@ type PECC struct {
 	stats   Stats
 	key     string // precomputed ImageKey
 	buf     []uint64
+	sts     []ecc.Status // checked-read per-word status scratch
+	scrub   bool         // scrub-on-correct on the checked read paths
 	// Reset scratch: cached data-bit codeword positions and a reusable
 	// translated-fault buffer.
 	dataPos []int

@@ -1,0 +1,227 @@
+package memstore
+
+import (
+	"faultmem/internal/mat"
+	"faultmem/internal/mem"
+)
+
+// RecoveryStats counts what a Recovery saw and did across checked round
+// trips. All fields are monotone counters so shard-level values merge
+// by addition (worker-count determinism: the per-trial increments are
+// fixed by the trial's RNG stream, and addition is order-free).
+type RecoveryStats struct {
+	// Flagged counts words read back with a detected-uncorrectable flag.
+	Flagged uint64
+	// Retries counts re-read attempts issued by the retry mechanism.
+	Retries uint64
+	// Recovered counts flagged words whose re-read came back clean
+	// (transient read corruption that did not recur).
+	Recovered uint64
+	// Restored counts flagged words replaced from the safe golden copy.
+	Restored uint64
+	// BudgetDenied counts flagged words the safe-word budget could not
+	// cover ("budget exhausted" events).
+	BudgetDenied uint64
+}
+
+// Merge adds o's counters into s.
+func (s *RecoveryStats) Merge(o RecoveryStats) {
+	s.Flagged += o.Flagged
+	s.Retries += o.Retries
+	s.Recovered += o.Recovered
+	s.Restored += o.Restored
+	s.BudgetDenied += o.BudgetDenied
+}
+
+// Recovery is the detect-and-recover state of the checked round trips:
+// the mechanism configuration (bounded re-reads, safe-memory restore
+// with a per-trial word budget), the DUE flag set of the last trip, and
+// the accumulated counters. One Recovery serves many trips; call
+// ResetTrial at each trial boundary to re-arm the budget.
+//
+// Recovery works per page, while the flagged rows still hold the
+// flagged words: the paged round trip reuses the same physical rows for
+// every page, so a flagged word must be retried or restored before the
+// next page's write overwrites its row.
+type Recovery struct {
+	// Retries is the bounded re-read count per flagged word (0 disables
+	// retrying). A re-read recovers transient read corruption; persistent
+	// faults flag again and stay flagged.
+	Retries int
+	// Restore enables replacing still-flagged words from the workspace's
+	// clean word cache — the safe-memory golden copy.
+	Restore bool
+	// Budget caps restored words per trial (De Stefani & Silvestri's
+	// safe-memory budget): 0 means unlimited, > 0 is the cap. Words
+	// denied for lack of budget count as BudgetDenied and keep their
+	// corrupted read-back.
+	Budget int
+	// DUE holds the flag set of the last checked trip, indexed by flat
+	// word position. Bits recovered or restored during the trip are
+	// cleared, so after the trip it flags exactly the words whose
+	// returned values are still known-corrupt.
+	DUE mem.DUESet
+	// Stats accumulates counters across trips until the caller resets it.
+	Stats RecoveryStats
+
+	budgetUsed int
+}
+
+// ResetTrial re-arms the per-trial safe-word budget.
+func (r *Recovery) ResetTrial() { r.budgetUsed = 0 }
+
+// RoundTripCheckedValues is RoundTripCachedValues through the detection
+// layer: identical paging, writes, and decoded payload (bit-identical
+// when no recovery action fires — non-detecting memories cannot fire
+// any), plus per-word DUE flags in rec.DUE and the rec mechanisms
+// applied per page. rec must not be nil.
+func (c Codec) RoundTripCheckedValues(ws *Workspace, m mem.Word32, rec *Recovery) []float64 {
+	if len(ws.words) == 0 {
+		panic("memstore: RoundTripCheckedValues before EncodeValuesInto")
+	}
+	return c.roundTripCheckedWords(ws, m, rec)
+}
+
+// RoundTripCheckedInto is RoundTripCachedInto through the detection
+// layer (see RoundTripCheckedValues): the decoded dataset plus the DUE
+// flag set, whose indices follow the flat layout (row-major features,
+// then labels).
+func (c Codec) RoundTripCheckedInto(ws *Workspace, m mem.Word32, rec *Recovery) (*mat.Dense, []float64, *mem.DUESet) {
+	rows, cols := ws.cachedRows, ws.cachedCols
+	if rows == 0 {
+		panic("memstore: RoundTripCheckedInto before EncodeDatasetInto")
+	}
+	flat := c.roundTripCheckedWords(ws, m, rec)
+
+	if ws.x == nil {
+		ws.x = mat.NewDense(rows, cols)
+	} else if r, cc := ws.x.Dims(); r != rows || cc != cols {
+		ws.x = mat.NewDense(rows, cols)
+	}
+	for i := 0; i < rows; i++ {
+		ws.x.SetRow(i, flat[i*cols:(i+1)*cols])
+	}
+	if cap(ws.y) < rows {
+		ws.y = make([]float64, rows)
+	}
+	yOut := ws.y[:rows]
+	copy(yOut, flat[rows*cols:])
+	ws.y = yOut
+	return ws.x, yOut, &rec.DUE
+}
+
+// roundTripCheckedWords is roundTripCachedWords with detection: the
+// write dispatch (image / batch / scalar) is byte-for-byte the same, the
+// read dispatch swaps in the checked variants on mem.Detector memories,
+// and each page ends with the recovery pass over its fresh flags.
+func (c Codec) roundTripCheckedWords(ws *Workspace, m mem.Word32, rec *Recovery) []float64 {
+	if rec == nil {
+		panic("memstore: checked round trip with nil recovery")
+	}
+	pageWords := m.Words()
+	if pageWords == 0 {
+		panic("memstore: empty memory")
+	}
+	n := len(ws.words)
+	if cap(ws.flat) < n {
+		ws.flat = make([]float64, 0, n)
+	}
+	flat := ws.flat[:n]
+	ws.flat = flat
+	scale := c.scale()
+	rec.DUE.Reset(n)
+	det, detects := m.(mem.Detector)
+	bm, batched := m.(mem.BatchMemory)
+	var (
+		img []uint64
+		iw  mem.ImageWriter
+	)
+	if w, ok := m.(mem.ImageWriter); ok && batched {
+		if key := w.ImageKey(); key != "" {
+			iw, img = w, ws.imageFor(w, key)
+		}
+	}
+	if pageN := min(pageWords, n); batched && cap(ws.readBuf) < pageN {
+		ws.readBuf = make([]uint32, pageN)
+	}
+	for start := 0; start < n; start += pageWords {
+		end := start + pageWords
+		if end > n {
+			end = n
+		}
+		switch {
+		case img != nil:
+			iw.WriteImage(0, img[start:end])
+		case batched:
+			bm.WriteBatch(0, ws.words[start:end])
+		default:
+			for i := start; i < end; i++ {
+				m.Write(i-start, ws.words[i])
+			}
+		}
+		switch {
+		case detects && batched:
+			buf := ws.readBuf[:end-start]
+			det.ReadBatchChecked(0, buf, &rec.DUE, start)
+			for i, w := range buf {
+				flat[start+i] = float64(int32(w)) / scale
+			}
+		case detects:
+			for i := start; i < end; i++ {
+				v, due := det.ReadChecked(i - start)
+				if due {
+					rec.DUE.Set(i)
+				}
+				flat[i] = float64(int32(v)) / scale
+			}
+		case batched:
+			buf := ws.readBuf[:end-start]
+			bm.ReadBatch(0, buf)
+			for i, w := range buf {
+				flat[start+i] = float64(int32(w)) / scale
+			}
+		default:
+			for i := start; i < end; i++ {
+				flat[i] = float64(int32(m.Read(i-start))) / scale
+			}
+		}
+		if detects {
+			rec.recoverPage(ws, det, flat, start, end, scale)
+		}
+	}
+	return flat
+}
+
+// recoverPage runs the recovery mechanisms over the page's flagged
+// words while the page still occupies the memory: bounded re-reads
+// first (each flagged word gets up to Retries fresh reads; a clean one
+// replaces the value and clears the flag), then the safe-memory restore
+// for words still flagged, charged against the per-trial budget.
+func (rec *Recovery) recoverPage(ws *Workspace, det mem.Detector, flat []float64, start, end int, scale float64) {
+	for i := rec.DUE.NextSet(start); i >= 0 && i < end; i = rec.DUE.NextSet(i + 1) {
+		rec.Stats.Flagged++
+		recovered := false
+		for a := 0; a < rec.Retries; a++ {
+			rec.Stats.Retries++
+			v, due := det.ReadChecked(i - start)
+			if !due {
+				flat[i] = float64(int32(v)) / scale
+				rec.DUE.Clear(i)
+				rec.Stats.Recovered++
+				recovered = true
+				break
+			}
+		}
+		if recovered || !rec.Restore {
+			continue
+		}
+		if rec.Budget > 0 && rec.budgetUsed >= rec.Budget {
+			rec.Stats.BudgetDenied++
+			continue
+		}
+		rec.budgetUsed++
+		rec.Stats.Restored++
+		flat[i] = float64(int32(ws.words[i])) / scale
+		rec.DUE.Clear(i)
+	}
+}

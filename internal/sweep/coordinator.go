@@ -810,8 +810,9 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 func (c *Coordinator) handleResult(s *session, m *Result) {
 	c.mu.Lock()
 	j := c.jobs[m.ID]
+	done := j != nil && j.state == jobDone
 	c.mu.Unlock()
-	if j == nil || j.state == jobDone {
+	if j == nil || done {
 		c.stats.duplicateResults.Add(1)
 		return
 	}

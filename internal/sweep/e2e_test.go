@@ -427,6 +427,113 @@ func TestDistributedWorkloadsCampaign(t *testing.T) {
 	}
 }
 
+// recoveryE2EParams is the small-budget recovery campaign the e2e cases
+// run: all three policies with soft errors enabled, so the shard
+// outputs carry non-empty per-arm recovery counters over the wire.
+var recoveryE2EParams = json.RawMessage(
+	`{"Workload": "cgsolve", "Trials": 6, "Rows": 256, "Dim": 24, "TransientRate": 0.001, "SafeWords": 64}`)
+
+func recoveryRunner() *exp.Runner {
+	r := testRunner()
+	r.Params = recoveryE2EParams
+	return r
+}
+
+// TestDistributedRecoveryCampaign extends the zero-local-fallback
+// contract to the recovery campaign: its shard output is the same
+// gob-encodable workload.ShardOut, now carrying per-arm recovery
+// counters, so every per-policy stage must travel to a healthy pool
+// with no JobError tag-poisoning and no local degradation, and the
+// merged result — counter tables included — must match the single-host
+// run byte for byte.
+func TestDistributedRecoveryCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed recovery run is a slower e2e case")
+	}
+	c := startCoordinator(t)
+	for i := 0; i < 3; i++ {
+		startWorker(t, c.Addr().String())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.AwaitWorkers(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Run(ctx, "recovery", recoveryRunner())
+	if err != nil {
+		t.Fatalf("distributed recovery: %v", err)
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localRes, err := exp.Run(context.Background(), "recovery", recoveryRunner())
+	if err != nil {
+		t.Fatalf("local recovery: %v", err)
+	}
+	want, err := localRes.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("distributed recovery output diverged from single-host run")
+	}
+	st := c.Stats()
+	if st.RemoteShards == 0 {
+		t.Fatalf("no recovery shards were computed remotely: %+v", st)
+	}
+	if st.JobErrors != 0 || st.LocalShards != 0 {
+		t.Fatalf("recovery stages must distribute fully on a healthy pool, not degrade to local: %+v", st)
+	}
+}
+
+// TestRecoveryWorkerKilledMidCampaign: a worker dying while it holds
+// recovery-campaign leases must not lose, duplicate, or reorder
+// anything — including the per-arm recovery counters merged from shard
+// outputs, which would silently drift if a shard were double-counted.
+func TestRecoveryWorkerKilledMidCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed recovery run is a slower e2e case")
+	}
+	c := startCoordinator(t)
+	kill := startWorker(t, c.Addr().String())
+	startWorker(t, c.Addr().String())
+	startWorker(t, c.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.AwaitWorkers(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	timer := time.AfterFunc(30*time.Millisecond, kill)
+	defer timer.Stop()
+	res, err := c.Run(ctx, "recovery", recoveryRunner())
+	if err != nil {
+		t.Fatalf("distributed recovery: %v", err)
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localRes, err := exp.Run(context.Background(), "recovery", recoveryRunner())
+	if err != nil {
+		t.Fatalf("local recovery: %v", err)
+	}
+	want, err := localRes.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recovery output diverged after mid-campaign worker death")
+	}
+	if st := c.Stats(); st.RemoteShards == 0 {
+		t.Fatalf("no recovery shards were computed remotely: %+v", st)
+	}
+}
+
 // TestJobErrorPoisonsTagToLocal: a protocol-level worker that fails
 // every job it is handed drives the JobError → poisoned tag →
 // local-compute degradation end to end. (The organic driver went away:

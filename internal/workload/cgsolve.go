@@ -62,44 +62,14 @@ func (w cgWorkload) Prepare(p Params) (Instance, error) {
 	}
 	inst := &cgInstance{flat: make([]float64, dim*dim+dim), dim: dim, iters: iters}
 	rng := stats.Derive(p.Seed, 78)
-	codec := memstore.DefaultCodec()
-
-	// A = M^T M / dim + I is SPD with a decent condition number; snap
-	// every coefficient to the fixed-point grid so a fault-free round
-	// trip is bit-identical and the no-fault trial scores exactly 1.0.
-	m := make([]float64, dim*dim)
-	for i := range m {
-		m[i] = rng.NormFloat64()
-	}
-	a := inst.flat[:dim*dim]
-	for i := 0; i < dim; i++ {
-		for j := 0; j < dim; j++ {
-			s := 0.0
-			for k := 0; k < dim; k++ {
-				s += m[k*dim+i] * m[k*dim+j]
-			}
-			s /= float64(dim)
-			if i == j {
-				s++
-			}
-			a[i*dim+j] = codec.Decode(codec.Encode(s))
-		}
-	}
-	// Quantization breaks exact symmetry ties never — Encode is a pure
-	// function of the value and A was symmetric before snapping — so the
-	// stored A stays SPD for CG's purposes.
-	b := inst.flat[dim*dim:]
-	for i := range b {
-		b[i] = codec.Decode(codec.Encode(rng.NormFloat64() * 10))
-	}
-	inst.normB = norm2(b)
+	inst.normB = genCGSystem(rng, dim, inst.flat)
 	if inst.normB == 0 {
 		return nil, fmt.Errorf("workload: cgsolve zero right-hand side")
 	}
 
 	// Fault-free reference: CG on the clean coefficients.
 	s := &cgScratch{}
-	x := runCG(s, a, b, dim, iters)
+	x := runCG(s, inst.flat[:dim*dim], inst.flat[dim*dim:], dim, iters)
 	inst.res0 = inst.relResidual(x)
 	if !(inst.res0 < 1) {
 		return nil, fmt.Errorf("workload: fault-free CG did not converge (relative residual %g)", inst.res0)
@@ -115,7 +85,7 @@ func (inst *cgInstance) StoreOn(ws *Workspace) {
 }
 
 func (inst *cgInstance) RunTrial(ws *Workspace, _ *rand.Rand) (float64, error) {
-	vals := ws.Codec.RoundTripCachedValues(&ws.Store, ws.Mem)
+	vals := ws.TripValues()
 	if len(vals) != len(inst.flat) {
 		return 0, fmt.Errorf("workload: cgsolve round trip returned %d values for %d coefficients", len(vals), len(inst.flat))
 	}
@@ -129,35 +99,80 @@ func (inst *cgInstance) RunTrial(ws *Workspace, _ *rand.Rand) (float64, error) {
 	// every read of a cell sees the same corruption, so one snapshot per
 	// trial is exact), judge against the clean system.
 	x := runCG(s, vals[:d*d], vals[d*d:], d, inst.iters)
-	res := inst.relResidual(x)
+	return qualityFromResidual(inst.relResidual(x), inst.res0), nil
+}
+
+// genCGSystem fills flat = [A row-major | b] with a codec-snapped SPD
+// system drawn from rng and returns ||b||. A = M^T M / dim + I has a
+// decent condition number; every coefficient is snapped to the
+// fixed-point grid so a fault-free round trip is bit-identical and the
+// no-fault trial scores exactly 1.0. (Quantization breaks exact
+// symmetry ties never — Encode is a pure function of the value and A
+// was symmetric before snapping — so the stored A stays SPD for CG's
+// purposes.)
+func genCGSystem(rng *rand.Rand, dim int, flat []float64) float64 {
+	codec := memstore.DefaultCodec()
+	m := make([]float64, dim*dim)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	a := flat[:dim*dim]
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			s := 0.0
+			for k := 0; k < dim; k++ {
+				s += m[k*dim+i] * m[k*dim+j]
+			}
+			s /= float64(dim)
+			if i == j {
+				s++
+			}
+			a[i*dim+j] = codec.Decode(codec.Encode(s))
+		}
+	}
+	b := flat[dim*dim:]
+	for i := range b {
+		b[i] = codec.Decode(codec.Encode(rng.NormFloat64() * 10))
+	}
+	return norm2(b)
+}
+
+// qualityFromResidual maps a trial's clean-system relative residual onto
+// [0, 1]: 1 at (or below) the fault-free reference residual res0, 0 at
+// relative residual 1 (the zero-vector baseline) or any non-finite
+// breakdown, log-scale interpolation between.
+func qualityFromResidual(res, res0 float64) float64 {
 	switch {
 	case !(res >= 0) || math.IsInf(res, 0): // NaN or +Inf: solver breakdown
-		return 0, nil
-	case res <= inst.res0:
-		return 1, nil
+		return 0
+	case res <= res0:
+		return 1
 	case res >= 1:
-		return 0, nil
+		return 0
 	default:
-		// log-scale interpolation between the converged reference
-		// (quality 1) and the zero-vector baseline (quality 0).
-		return math.Log(res) / math.Log(inst.res0), nil
+		return math.Log(res) / math.Log(res0)
 	}
 }
 
 // relResidual returns ||b - A x|| / ||b|| under the CLEAN system.
 func (inst *cgInstance) relResidual(x []float64) float64 {
-	d := inst.dim
-	a, b := inst.flat[:d*d], inst.flat[d*d:]
+	return cleanRelResidual(inst.flat, inst.dim, inst.normB, x)
+}
+
+// cleanRelResidual returns ||b - A x|| / ||b|| for the clean flattened
+// system [A row-major | b] — the judging metric both CG workloads share.
+func cleanRelResidual(flat []float64, dim int, normB float64, x []float64) float64 {
+	a, b := flat[:dim*dim], flat[dim*dim:]
 	var ss float64
-	for i := 0; i < d; i++ {
+	for i := 0; i < dim; i++ {
 		ri := b[i]
-		row := a[i*d : (i+1)*d]
+		row := a[i*dim : (i+1)*dim]
 		for j, v := range row {
 			ri -= v * x[j]
 		}
 		ss += ri * ri
 	}
-	return math.Sqrt(ss) / inst.normB
+	return math.Sqrt(ss) / normB
 }
 
 // runCG runs the conjugate-gradient iteration x_0 = 0 on the (possibly

@@ -36,7 +36,7 @@ func (mi *mlInstance) StoreOn(ws *Workspace) {
 func (mi *mlInstance) RunTrial(ws *Workspace, _ *rand.Rand) (float64, error) {
 	// xc/yc alias the shard workspace; evaluate consumes them fully
 	// before the next arm refills it.
-	xc, yc := ws.Codec.RoundTripCachedInto(&ws.Store, ws.Mem)
+	xc, yc := ws.TripDataset()
 	q, err := mi.evaluate(&ws.ML, xc, yc)
 	if err != nil {
 		return 0, err

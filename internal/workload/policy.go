@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"fmt"
+
+	"faultmem/internal/memstore"
+)
+
+// PolicyKind enumerates the trial-level recovery policies a TrialRunner
+// can apply to every checked round trip.
+type PolicyKind int
+
+const (
+	// PolicyNone is the historical behavior: the plain cached round trip,
+	// no detection, bit-identical qualities to the pre-recovery engine.
+	PolicyNone PolicyKind = iota
+	// PolicyRetry re-reads each flagged word a bounded number of times;
+	// transient read corruption that does not recur is recovered,
+	// persistent double faults stay flagged.
+	PolicyRetry
+	// PolicySafeRestore restores still-flagged words from the safe-memory
+	// golden copy (the workspace's clean word cache), charged against a
+	// per-trial safe-word budget.
+	PolicySafeRestore
+
+	numPolicies = iota
+)
+
+// Valid reports whether k names a policy.
+func (k PolicyKind) Valid() bool { return k >= 0 && k < numPolicies }
+
+// String returns the canonical lowercase policy name.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyNone:
+		return "none"
+	case PolicyRetry:
+		return "retry"
+	case PolicySafeRestore:
+		return "saferestore"
+	default:
+		return fmt.Sprintf("policy(%d)", int(k))
+	}
+}
+
+// ParsePolicy maps a canonical name to its kind.
+func ParsePolicy(s string) (PolicyKind, error) {
+	for k := PolicyKind(0); k < numPolicies; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown recovery policy %q (want one of %v)", s, PolicyNames())
+}
+
+// AllPolicies returns every policy kind in escalation order.
+func AllPolicies() []PolicyKind {
+	ks := make([]PolicyKind, numPolicies)
+	for i := range ks {
+		ks[i] = PolicyKind(i)
+	}
+	return ks
+}
+
+// PolicyNames returns every canonical policy name in escalation order.
+func PolicyNames() []string {
+	names := make([]string, numPolicies)
+	for i := range names {
+		names[i] = PolicyKind(i).String()
+	}
+	return names
+}
+
+// RecoveryPolicy configures the detect-and-recover behavior of a
+// TrialRunner. The zero value is PolicyNone.
+type RecoveryPolicy struct {
+	// Kind selects the mechanism.
+	Kind PolicyKind
+	// Retries is PolicyRetry's re-read bound per flagged word (0 = 2).
+	// PolicySafeRestore also honors it: retries run first, the restore
+	// covers what they could not recover.
+	Retries int
+	// SafeWords is PolicySafeRestore's per-trial golden-copy budget
+	// (0 = unlimited).
+	SafeWords int
+}
+
+// Active reports whether the policy engages the checked round trips at
+// all (PolicyNone keeps the plain cached path, bit-identical to the
+// pre-recovery engine).
+func (p RecoveryPolicy) Active() bool { return p.Kind != PolicyNone }
+
+// recovery builds the memstore mechanism state for one arm.
+func (p RecoveryPolicy) recovery() memstore.Recovery {
+	switch p.Kind {
+	case PolicyRetry:
+		n := p.Retries
+		if n == 0 {
+			n = 2
+		}
+		return memstore.Recovery{Retries: n}
+	case PolicySafeRestore:
+		n := p.Retries
+		if n == 0 {
+			n = 2
+		}
+		return memstore.Recovery{Retries: n, Restore: true, Budget: p.SafeWords}
+	default:
+		return memstore.Recovery{}
+	}
+}

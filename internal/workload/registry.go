@@ -23,6 +23,10 @@ const (
 	// (Bridges et al.): system coefficients live in faulty memory, the
 	// solution and direction vectors stay in safe memory.
 	CGSolve
+	// CGRestart is the checksum-guarded restarted CG solve: the iterate
+	// vectors also live in faulty memory, guarded by safe-memory
+	// checksums and periodic checkpoints with bounded rollback-restarts.
+	CGRestart
 
 	numWorkloads = iota
 )
@@ -34,6 +38,7 @@ var registry = [numWorkloads]Workload{
 	KNN:        knnWorkload{},
 	RSort:      rsortWorkload{},
 	CGSolve:    cgWorkload{},
+	CGRestart:  cgrestartWorkload{},
 }
 
 // Valid reports whether id names a registered workload.
@@ -77,6 +82,8 @@ func (id ID) Display() string {
 		return "Resilient Sort"
 	case CGSolve:
 		return "CG Solve"
+	case CGRestart:
+		return "Restarted CG"
 	default:
 		return fmt.Sprintf("workload(%d)", int(id))
 	}

@@ -84,7 +84,7 @@ func (inst *rsortInstance) StoreOn(ws *Workspace) {
 }
 
 func (inst *rsortInstance) RunTrial(ws *Workspace, _ *rand.Rand) (float64, error) {
-	vals := ws.Codec.RoundTripCachedValues(&ws.Store, ws.Mem)
+	vals := ws.TripValues()
 	s, ok := ws.Scratch.(*rsortScratch)
 	if !ok {
 		s = &rsortScratch{idx: make([]int, len(vals)), tmp: make([]int, len(vals))}

@@ -6,6 +6,7 @@ import (
 	"faultmem/internal/fault"
 	"faultmem/internal/mem"
 	"faultmem/internal/memstore"
+	"faultmem/internal/sram"
 	"faultmem/internal/stats"
 )
 
@@ -20,20 +21,38 @@ type Config struct {
 	Pcell float64
 	// Arms are the protection schemes compared on each trial's die.
 	Arms []Arm
+	// Policy is the detect-and-recover behavior applied to every
+	// checked round trip. The zero value (PolicyNone) keeps the plain
+	// cached path — bit-identical qualities to the pre-recovery engine.
+	Policy RecoveryPolicy
+	// TransientRate enables per-read soft errors at this per-bit rate on
+	// arms that expose their bit-cell array (all eight protection arms);
+	// 0 disables. The flips draw from the trial's RNG stream, so results
+	// stay bit-identical at any worker count.
+	TransientRate float64
 }
 
 // TrialRunner executes warm Monte-Carlo trials for one shard: it owns
 // the per-shard scratch (one functional memory per arm reinstalled in
-// place via mem.Resetter, the clean-word/codeword-image cache, and the
-// workload's fit scratch), so after the first trial the whole
-// fault-map -> memory -> round-trip -> run -> score pipeline runs
-// allocation-free except for fault-map generation itself.
+// place via mem.Resetter, the clean-word/codeword-image cache, the
+// per-arm recovery state, and the workload's fit scratch), so after the
+// first trial the whole fault-map -> memory -> round-trip -> run ->
+// score pipeline runs allocation-free except for fault-map generation
+// itself.
 type TrialRunner struct {
 	cfg   Config
 	inst  Instance
 	cells int
 	mems  []mem.Word32
+	recs  []memstore.Recovery // per-arm recovery state; nil under PolicyNone
 	ws    Workspace
+}
+
+// arrayAccessor is the facet of a memory that exposes its bit-cell
+// array (every concrete arm does); the transient-fault injector needs
+// it.
+type arrayAccessor interface {
+	Array() *sram.Array
 }
 
 // NewTrialRunner builds a shard runner and quantizes the instance's
@@ -46,9 +65,28 @@ func NewTrialRunner(inst Instance, cfg Config) *TrialRunner {
 		cells: cfg.Rows * mem.DataWidth,
 		mems:  make([]mem.Word32, len(cfg.Arms)),
 	}
+	if cfg.Policy.Active() {
+		r.recs = make([]memstore.Recovery, len(cfg.Arms))
+		for i := range r.recs {
+			r.recs[i] = cfg.Policy.recovery()
+		}
+	}
 	r.ws.Codec = memstore.DefaultCodec()
 	inst.StoreOn(&r.ws)
 	return r
+}
+
+// RecoveryStats returns a snapshot of the per-arm recovery counters
+// accumulated so far, in arm order (nil when the policy is None).
+func (r *TrialRunner) RecoveryStats() []memstore.RecoveryStats {
+	if r.recs == nil {
+		return nil
+	}
+	out := make([]memstore.RecoveryStats, len(r.recs))
+	for i := range r.recs {
+		out[i] = r.recs[i].Stats
+	}
+	return out
 }
 
 // RunTrial executes one Monte-Carlo trial: it draws the die's fault map
@@ -77,6 +115,20 @@ func (r *TrialRunner) RunTrial(seedBase int64, trial int, out []float64) ([]floa
 		}
 		if err != nil {
 			return out, fmt.Errorf("workload: %s trial %d arm %v: %w", r.cfg.Name, trial, arm, err)
+		}
+		if r.cfg.TransientRate > 0 {
+			if aa, ok := m.(arrayAccessor); ok {
+				// Soft errors draw from the trial's stream: the arms run in
+				// fixed order, so the draws are deterministic per trial.
+				aa.Array().SetTransient(r.cfg.TransientRate, rng)
+			}
+		}
+		if r.recs != nil {
+			rec := &r.recs[ai]
+			rec.ResetTrial()
+			r.ws.Recovery = rec
+		} else {
+			r.ws.Recovery = nil
 		}
 		r.ws.Mem = m
 		q, err := r.inst.RunTrial(&r.ws, rng)

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"faultmem/internal/fault"
+	"faultmem/internal/mat"
 	"faultmem/internal/mem"
 	"faultmem/internal/memstore"
 	"faultmem/internal/ml"
@@ -35,6 +36,13 @@ type Params struct {
 	Dim int
 	// Iters is the CG iteration budget (0 = Dim).
 	Iters int
+	// Checkpoint is the cgrestart checkpoint interval in iterations
+	// (0 = 8).
+	Checkpoint int
+	// Restarts is the cgrestart rollback budget (0 = 8; negative
+	// disables rollback, so the first trip switches the guards off and
+	// the solver degrades to absorbing corruption).
+	Restarts int
 }
 
 // Workload is one error-resilient application. Implementations are
@@ -83,9 +91,36 @@ type Workspace struct {
 	// Mem is the protected memory of the current (trial, arm), installed
 	// by the TrialRunner before each RunTrial call.
 	Mem mem.Word32
+	// Recovery is the detect-and-recover state of the current (trial,
+	// arm), installed by the TrialRunner alongside Mem; nil means
+	// PolicyNone and selects the plain cached round trips (bit-identical
+	// to the pre-recovery engine). Instances round-trip through the
+	// TripValues/TripDataset helpers so every workload honors the policy
+	// without knowing it exists.
+	Recovery *memstore.Recovery
 	// Scratch is instance-defined per-shard scratch (nil until the
 	// instance's first trial on this workspace).
 	Scratch any
+}
+
+// TripValues round-trips the cached flat values through Mem under the
+// active recovery policy (the plain cached trip when none is set). The
+// returned slice is workspace scratch with the usual aliasing rules.
+func (ws *Workspace) TripValues() []float64 {
+	if ws.Recovery != nil {
+		return ws.Codec.RoundTripCheckedValues(&ws.Store, ws.Mem, ws.Recovery)
+	}
+	return ws.Codec.RoundTripCachedValues(&ws.Store, ws.Mem)
+}
+
+// TripDataset round-trips the cached dataset through Mem under the
+// active recovery policy (see TripValues).
+func (ws *Workspace) TripDataset() (*mat.Dense, []float64) {
+	if ws.Recovery != nil {
+		x, y, _ := ws.Codec.RoundTripCheckedInto(&ws.Store, ws.Mem, ws.Recovery)
+		return x, y
+	}
+	return ws.Codec.RoundTripCachedInto(&ws.Store, ws.Mem)
 }
 
 // Arm is a buildable protection scheme. exp.Protection satisfies it;
@@ -97,12 +132,14 @@ type Arm interface {
 }
 
 // ShardOut is one engine shard's result: the span's trial-major,
-// arm-minor normalized qualities, plus any trial error as text. The
-// fields are exported (and the error travels as a string) so the value
+// arm-minor normalized qualities, the shard's per-arm recovery counters
+// (empty under PolicyNone), plus any trial error as text. The fields
+// are exported (and the error travels as a string) so the value
 // gob-encodes: the sweep service ships workload shards to remote
 // workers instead of degrading the stage to local compute via JobError
 // tag-poisoning.
 type ShardOut struct {
-	Qs  []float64
-	Err string
+	Qs       []float64
+	Recovery []memstore.RecoveryStats
+	Err      string
 }

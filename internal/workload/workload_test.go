@@ -73,7 +73,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 // at Prepare, so a trial against a fault-free memory reproduces the
 // clean computation exactly and scores quality 1.0 — not 1-epsilon.
 func TestNoFaultTrialPerfectQuality(t *testing.T) {
-	for _, id := range []ID{RSort, CGSolve} {
+	for _, id := range []ID{RSort, CGSolve, CGRestart} {
 		wl, err := id.Workload()
 		if err != nil {
 			t.Fatal(err)
