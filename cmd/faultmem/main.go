@@ -72,8 +72,7 @@ func execute(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		usage(stdout)
 		return 0
 	case "list":
-		printExperiments(stdout)
-		return 0
+		return listCmd(rest, stdout, stderr)
 	case "run":
 		if len(rest) == 0 || strings.HasPrefix(rest[0], "-") {
 			fmt.Fprintf(stderr, "faultmem run: missing experiment name\n\n")
@@ -85,6 +84,14 @@ func execute(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return coordinate(ctx, rest, stdout, stderr)
 	case "worker":
 		return workerCmd(ctx, rest, stderr)
+	case "serve":
+		return serveCmd(ctx, rest, stderr)
+	case "submit":
+		return submitCmd(ctx, rest, stdout, stderr)
+	case "status":
+		return statusCmd(ctx, rest, stdout, stderr)
+	case "cancel":
+		return cancelCmd(ctx, rest, stdout, stderr)
 	default:
 		if strings.HasPrefix(cmd, "-") {
 			fmt.Fprintf(stderr, "faultmem: unknown flag %q before a command\n\n", cmd)
@@ -104,8 +111,12 @@ usage: faultmem <command> [flags]
 commands:
   run <name|all>  run one registered experiment (or all, in paper order)
   coordinate      run an experiment on a pool of remote workers
-  worker          compute shards for a remote coordinator
-  list            list the experiment registry
+  worker          compute shards for a remote coordinator or campaign server
+  serve           run the long-lived multi-client campaign server
+  submit          submit a campaign to a server and stream its result
+  status          show one server job (or list all with no job ID)
+  cancel          cancel one running server job
+  list            list the experiment registry (-json for machine-readable)
   <name>          shorthand for 'run <name>'
 
 run flags:
@@ -128,13 +139,38 @@ coordinate flags (before the experiment name; run flags after it):
   -wait D         how long to await them before starting anyway (default 1m)
   -lease D        shard lease before reassignment (0 = default)
   -session-ttl D  resume window for disconnected workers (0 = default)
+  -auth-token S   shared secret required from workers (default $FAULTMEM_AUTH_TOKEN)
   -verbose        log worker churn and shard reassignment on stderr
 
 worker flags:
   -connect ADDR   coordinator address to dial (default 127.0.0.1:7715)
+  -auth-token S   shared secret for the pool (default $FAULTMEM_AUTH_TOKEN)
   -heartbeat D    liveness heartbeat cadence (0 = default)
   -workers N      concurrent shard computations (0 = all cores)
   -verbose        log transport events on stderr
+
+serve flags:
+  -listen ADDR        TCP address for workers and clients (default 127.0.0.1:7715)
+  -auth-token S       shared secret required from every connection
+  -worker-slots N     scheduler tickets per connected worker (default 4)
+  -local-workers N    local shard capacity floor (0 = all cores)
+  -client-inflight N  per-client concurrent shard cap (0 = uncapped)
+  -snapshot-every D   partial-result push period (default 1s)
+  -client-ttl D       client session resume window (default 30s)
+  -drain-timeout D    drain wait bound on SIGTERM/Ctrl-C (default 1m)
+  -verbose            log job lifecycle and churn on stderr
+
+submit flags (the run flags above, plus):
+  -connect ADDR   campaign server to dial (default 127.0.0.1:7715)
+  -auth-token S   shared secret for the server (default $FAULTMEM_AUTH_TOKEN)
+  -token S        resume a previous session (jobs re-attach, finals redeliver)
+  -label S        free-form annotation echoed in status listings
+  -priority N     fair-share weight (higher = more concurrent shards)
+  -detach         print the job ID and exit instead of waiting
+
+status/cancel flags:
+  -connect, -auth-token, -token as for submit; -json for JSON output
+  'status' with no job ID lists every job the server knows
 
 `)
 	printExperiments(w)
@@ -332,6 +368,8 @@ func coordinate(ctx context.Context, args []string, stdout, stderr io.Writer) in
 	wait := fs.Duration("wait", time.Minute, "how long to await -min-workers before starting anyway")
 	lease := fs.Duration("lease", 0, "shard lease before reassignment (0 = default)")
 	sessionTTL := fs.Duration("session-ttl", 0, "resume window for disconnected workers (0 = default)")
+	authToken := fs.String("auth-token", os.Getenv(authTokenEnv),
+		"shared secret required from workers (default $"+authTokenEnv+")")
 	verbose := fs.Bool("verbose", false, "log worker churn and shard reassignment on stderr")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -356,7 +394,7 @@ func coordinate(ctx context.Context, args []string, stdout, stderr io.Writer) in
 		}
 	}
 
-	cfg := faultmem.SweepConfig{Lease: *lease, SessionTTL: *sessionTTL}
+	cfg := faultmem.SweepConfig{Lease: *lease, SessionTTL: *sessionTTL, AuthToken: *authToken}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(stderr, "faultmem coordinate: "+format+"\n", args...)
@@ -403,6 +441,8 @@ func workerCmd(ctx context.Context, args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("faultmem worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	connect := fs.String("connect", "127.0.0.1:7715", "coordinator address to dial")
+	authToken := fs.String("auth-token", os.Getenv(authTokenEnv),
+		"shared secret for the pool (default $"+authTokenEnv+")")
 	heartbeat := fs.Duration("heartbeat", 0, "liveness heartbeat cadence (0 = default)")
 	workers := fs.Int("workers", 0, "concurrent shard computations (0 = all cores)")
 	verbose := fs.Bool("verbose", false, "log transport events on stderr")
@@ -417,7 +457,7 @@ func workerCmd(ctx context.Context, args []string, stderr io.Writer) int {
 		return 2
 	}
 
-	cfg := faultmem.SweepWorkerConfig{Heartbeat: *heartbeat, LocalWorkers: *workers}
+	cfg := faultmem.SweepWorkerConfig{Heartbeat: *heartbeat, LocalWorkers: *workers, AuthToken: *authToken}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(stderr, "faultmem worker: "+format+"\n", args...)

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"faultmem"
+)
+
+// waitServe polls until the server behind addr accepts TCP connections.
+func waitServe(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server on %s never came up: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// startServeCLI runs `faultmem serve` through execute() in the
+// background and returns a stop function that triggers the graceful
+// drain (via context cancel) and returns the exit code and stderr.
+func startServeCLI(t *testing.T, args []string) (stop func() (int, string)) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var errOut bytes.Buffer
+	var out bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- execute(ctx, args, &out, &errOut)
+	}()
+	return func() (int, string) {
+		cancel()
+		select {
+		case code := <-done:
+			return code, errOut.String()
+		case <-time.After(time.Minute):
+			t.Fatal("serve did not drain and exit")
+			return -1, ""
+		}
+	}
+}
+
+// TestServeCLIEndToEnd drives the whole serving surface through
+// execute(): serve comes up, a submitted campaign's JSON is
+// byte-identical to a local run, a detached submission shows up in
+// status listings and cancels cleanly, and cancelling the serve context
+// drains gracefully with exit code 0.
+func TestServeCLIEndToEnd(t *testing.T) {
+	var golden, gerr bytes.Buffer
+	if code := execute(context.Background(), []string{"run", "fig4", "-quick", "-json", "-seed", "7"}, &golden, &gerr); code != 0 {
+		t.Fatalf("golden run exited %d: %s", code, gerr.String())
+	}
+
+	addr := freePort(t)
+	stop := startServeCLI(t, []string{
+		"serve", "-listen", addr, "-snapshot-every", "20ms", "-client-ttl", "60s", "-drain-timeout", "30s",
+	})
+	waitServe(t, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var out, errOut bytes.Buffer
+	code := execute(ctx, []string{"submit", "-connect", addr, "-quick", "-json", "-seed", "7", "fig4"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("submit exited %d: %s", code, errOut.String())
+	}
+	if out.String() != golden.String() {
+		t.Errorf("served result diverged from local run\nlocal:\n%s\nserved:\n%s", golden.String(), out.String())
+	}
+	if !strings.Contains(errOut.String(), "session token") {
+		t.Errorf("submit stderr missing the session token line:\n%s", errOut.String())
+	}
+
+	// A detached submission prints its job ID and leaves the job running.
+	out.Reset()
+	errOut.Reset()
+	if code := execute(ctx, []string{"submit", "-connect", addr, "-detach", "-label", "background", "fig7"}, &out, &errOut); code != 0 {
+		t.Fatalf("detached submit exited %d: %s", code, errOut.String())
+	}
+	jobID := strings.TrimSpace(out.String())
+	if jobID == "" {
+		t.Fatal("detached submit printed no job ID")
+	}
+
+	// The status listing names both jobs and the detached label.
+	out.Reset()
+	errOut.Reset()
+	if code := execute(ctx, []string{"status", "-connect", addr}, &out, &errOut); code != 0 {
+		t.Fatalf("status exited %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"fig4", "fig7", "background", "done"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("status listing missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := execute(ctx, []string{"cancel", "-connect", addr, jobID}, &out, &errOut); code != 0 {
+		t.Fatalf("cancel exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "fig7") {
+		t.Errorf("cancel status missing the job row:\n%s", out.String())
+	}
+	// The cancellation lands asynchronously; poll the job's JSON status.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out.Reset()
+		errOut.Reset()
+		if code := execute(ctx, []string{"status", "-connect", addr, "-json", jobID}, &out, &errOut); code != 0 {
+			t.Fatalf("status -json exited %d: %s", code, errOut.String())
+		}
+		if strings.Contains(out.String(), `"state": "cancelled"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached cancelled state:\n%s", jobID, out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	code, serveErr := stop()
+	if code != 0 {
+		t.Fatalf("serve exited %d after drain: %s", code, serveErr)
+	}
+	for _, want := range []string{"listening on", "draining", "stopped"} {
+		if !strings.Contains(serveErr, want) {
+			t.Errorf("serve stderr missing %q:\n%s", want, serveErr)
+		}
+	}
+}
+
+// TestServeCLIAuth locks in the shared-secret handshake through the
+// CLI: a wrong or missing -auth-token is rejected, the right one works.
+func TestServeCLIAuth(t *testing.T) {
+	addr := freePort(t)
+	stop := startServeCLI(t, []string{"serve", "-listen", addr, "-auth-token", "sesame"})
+	waitServe(t, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var out, errOut bytes.Buffer
+	if code := execute(ctx, []string{"submit", "-connect", addr, "-auth-token", "wrong", "-quick", "fig4"}, &out, &errOut); code != 1 {
+		t.Fatalf("wrong-token submit exited %d, want 1: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "auth") {
+		t.Errorf("wrong-token stderr does not hint at auth:\n%s", errOut.String())
+	}
+	errOut.Reset()
+	if code := execute(ctx, []string{"status", "-connect", addr}, &out, &errOut); code != 1 {
+		t.Fatalf("tokenless status exited %d, want 1: %s", code, errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := execute(ctx, []string{"submit", "-connect", addr, "-auth-token", "sesame", "-quick", "-json", "fig4"}, &out, &errOut); code != 0 {
+		t.Fatalf("authenticated submit exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `"experiment": "fig4"`) {
+		t.Errorf("authenticated submit returned no result JSON:\n%s", out.String())
+	}
+
+	if code, serveErr := stop(); code != 0 {
+		t.Fatalf("serve exited %d: %s", code, serveErr)
+	}
+}
+
+// TestListJSON locks in the machine-readable registry listing: every
+// experiment appears with its description and default params JSON.
+func TestListJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := execute(context.Background(), []string{"list", "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("list -json exited %d: %s", code, errOut.String())
+	}
+	var listings []struct {
+		Name          string          `json:"name"`
+		Description   string          `json:"description"`
+		DefaultParams json.RawMessage `json:"default_params"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &listings); err != nil {
+		t.Fatalf("list -json output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(listings) != len(faultmem.Experiments()) {
+		t.Fatalf("listing has %d entries, registry has %d", len(listings), len(faultmem.Experiments()))
+	}
+	byName := map[string]bool{}
+	for _, l := range listings {
+		byName[l.Name] = true
+		if l.Description == "" {
+			t.Errorf("%s: empty description", l.Name)
+		}
+		if len(l.DefaultParams) == 0 || !json.Valid(l.DefaultParams) {
+			t.Errorf("%s: missing or invalid default_params: %s", l.Name, l.DefaultParams)
+		}
+	}
+	for _, name := range []string{"fig2", "fig5", "fig7", "table1"} {
+		if !byName[name] {
+			t.Errorf("listing missing %q", name)
+		}
+	}
+
+	// The plain listing still renders, and stray arguments are rejected.
+	out.Reset()
+	if code := execute(context.Background(), []string{"list"}, &out, &errOut); code != 0 || !strings.Contains(out.String(), "fig5") {
+		t.Fatalf("plain list broke: exit %d\n%s", code, out.String())
+	}
+	if code := execute(context.Background(), []string{"list", "stray"}, &out, &errOut); code != 2 {
+		t.Fatalf("list with a stray argument exited %d, want 2", code)
+	}
+}
+
+// TestServeClientBadInvocations: malformed client verbs exit 2 before
+// touching the network.
+func TestServeClientBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{"submit", "-connect", "127.0.0.1:1"},                 // no experiment
+		{"status", "-connect", "127.0.0.1:1", "a", "b"},       // too many args
+		{"cancel", "-connect", "127.0.0.1:1"},                 // no job ID
+		{"cancel", "-connect", "127.0.0.1:1", "not-a-number"}, // bad job ID
+		{"serve", "-listen", "127.0.0.1:0", "stray"},          // stray arg
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := execute(context.Background(), args, &out, &errOut); code != 2 {
+			t.Errorf("%v exited %d, want 2: %s", args, code, errOut.String())
+		}
+	}
+}

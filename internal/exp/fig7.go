@@ -162,11 +162,8 @@ func (p Fig7Params) prepare() (workload.Instance, error) {
 	if !p.App.valid() {
 		return nil, fmt.Errorf("exp: unknown app %v", p.App)
 	}
-	wl, err := workload.ID(p.App).Workload()
-	if err != nil {
-		return nil, err
-	}
-	return wl.Prepare(workload.Params{Seed: p.Seed, MadelonPaperSize: p.MadelonPaperSize})
+	return workload.PrepareShared(workload.ID(p.App),
+		workload.Params{Seed: p.Seed, MadelonPaperSize: p.MadelonPaperSize})
 }
 
 // Fig7Arms returns the protection arms plotted in Fig. 7: no protection,

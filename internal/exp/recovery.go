@@ -178,11 +178,7 @@ func (p RecoveryParams) prepare() (RecoveryResult, workload.Instance, error) {
 	if err != nil {
 		return RecoveryResult{}, nil, fmt.Errorf("exp: recovery params: %w", err)
 	}
-	wl, err := id.Workload()
-	if err != nil {
-		return RecoveryResult{}, nil, err
-	}
-	inst, err := wl.Prepare(workload.Params{
+	inst, err := workload.PrepareShared(id, workload.Params{
 		Seed:             p.Seed,
 		MadelonPaperSize: p.MadelonPaperSize,
 		Keys:             p.Keys,

@@ -134,11 +134,7 @@ func WorkloadsEnv(env mc.Env, p WorkloadsParams) (WorkloadsResult, error) {
 // runOne prepares one workload's instance and runs the quality engine
 // over all protection arms.
 func (p WorkloadsParams) runOne(env mc.Env, id workload.ID) (WorkloadRun, error) {
-	wl, err := id.Workload()
-	if err != nil {
-		return WorkloadRun{}, err
-	}
-	inst, err := wl.Prepare(workload.Params{
+	inst, err := workload.PrepareShared(id, workload.Params{
 		Seed:             p.Seed,
 		MadelonPaperSize: p.MadelonPaperSize,
 		Keys:             p.Keys,

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parkWaiters waits until n waiters are parked in the gate.
+func parkWaiters(t *testing.T, s *scheduler, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		parked := len(s.waiters)
+		s.mu.Unlock()
+		if parked >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters parked", parked, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSchedulerStrideWeights: with one ticket and parked waiters from a
+// weight-2 and a weight-1 entry, grants follow the stride pattern — the
+// heavy entry gets two grants for every one of the light entry's.
+func TestSchedulerStrideWeights(t *testing.T) {
+	s := newScheduler(func() int { return 1 })
+	blocker := s.admit(1, nil)
+	if err := s.acquire(context.Background(), blocker); err != nil {
+		t.Fatal(err)
+	}
+
+	heavy := s.admit(2, nil)
+	light := s.admit(1, nil)
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	park := func(name string, e *schedEntry, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.acquire(context.Background(), e); err != nil {
+					t.Errorf("acquire %s: %v", name, err)
+					return
+				}
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+				s.release(e)
+			}()
+		}
+	}
+	park("heavy", heavy, 6)
+	park("light", light, 3)
+	parkWaiters(t, s, 9)
+
+	// Releasing the blocker starts the grant chain: each grant records
+	// itself then releases, so the whole parked set drains through the
+	// single ticket in stride order.
+	s.release(blocker)
+	wg.Wait()
+
+	heavyFirst6 := 0
+	for _, name := range order[:6] {
+		if name == "heavy" {
+			heavyFirst6++
+		}
+	}
+	if heavyFirst6 != 4 {
+		t.Fatalf("weight-2 entry got %d of the first 6 grants, want 4 (order %v)", heavyFirst6, order)
+	}
+}
+
+// TestSchedulerInterleavesEqualWeights: two equal campaigns alternate
+// grants — neither can starve the other regardless of admission order.
+func TestSchedulerInterleavesEqualWeights(t *testing.T) {
+	s := newScheduler(func() int { return 1 })
+	blocker := s.admit(1, nil)
+	if err := s.acquire(context.Background(), blocker); err != nil {
+		t.Fatal(err)
+	}
+	a := s.admit(1, nil)
+	b := s.admit(1, nil)
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	for _, p := range []struct {
+		name string
+		e    *schedEntry
+	}{{"a", a}, {"b", b}} {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.acquire(context.Background(), p.e); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				mu.Lock()
+				order = append(order, p.name)
+				mu.Unlock()
+				s.release(p.e)
+			}()
+		}
+	}
+	parkWaiters(t, s, 8)
+	s.release(blocker)
+	wg.Wait()
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Fatalf("grants did not alternate: %v", order)
+		}
+	}
+}
+
+// TestSchedulerClientCap: a capped client's second shard stays parked
+// even with tickets free, while an uncapped client fills the rest.
+func TestSchedulerClientCap(t *testing.T) {
+	s := newScheduler(func() int { return 4 })
+	lim := &limiter{cap: 1}
+	capped := s.admit(1, lim)
+	free := s.admit(1, nil)
+
+	granted := make(chan string, 8)
+	holdRelease := make(chan struct{})
+	var wg sync.WaitGroup
+	hold := func(name string, e *schedEntry, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.acquire(context.Background(), e); err != nil {
+					return
+				}
+				granted <- name
+				<-holdRelease
+				s.release(e)
+			}()
+		}
+	}
+	hold("capped", capped, 3)
+	hold("free", free, 2)
+
+	counts := map[string]int{}
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < 3; i++ {
+		select {
+		case name := <-granted:
+			counts[name]++
+		case <-deadline:
+			t.Fatalf("only %d grants arrived: %v", i, counts)
+		}
+	}
+	// One capped + two free grants fit; the capped client's remaining
+	// shards must stay parked despite a ticket being free.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case name := <-granted:
+		t.Fatalf("extra grant to %s past the client cap", name)
+	default:
+	}
+	if counts["capped"] != 1 || counts["free"] != 2 {
+		t.Fatalf("grants = %v, want capped:1 free:2", counts)
+	}
+	close(holdRelease)
+	// Draining the holds lets the capped client's remaining shards
+	// through one at a time.
+	wg.Wait()
+}

@@ -1,0 +1,47 @@
+package serve
+
+// Job states as reported in JobStatus.State and JobSnapshot.State.
+const (
+	// StateRunning: admitted and executing (its shards gate through the
+	// fair-share scheduler; "running" does not imply a ticket is held
+	// this instant).
+	StateRunning = "running"
+	// StateDone: finished cleanly; the Final frame carried the result.
+	StateDone = "done"
+	// StateFailed: the experiment returned an error.
+	StateFailed = "failed"
+	// StateCancelled: ended by a cancel verb, a pruned client session,
+	// or a drain deadline.
+	StateCancelled = "cancelled"
+)
+
+// StageProgress is the progress of one engine stage of a campaign.
+// Stage is the engine-run tag ("experiment" or "experiment/stage").
+type StageProgress struct {
+	Stage string `json:"stage"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// JobStatus is the server's answer to the status/cancel/list verbs —
+// the JSON payload of a JobInfo frame (one object for status/cancel, an
+// array in submission order for list).
+type JobStatus struct {
+	ID         uint64          `json:"id"`
+	Experiment string          `json:"experiment"`
+	Label      string          `json:"label,omitempty"`
+	State      string          `json:"state"`
+	Priority   int             `json:"priority"`
+	Error      string          `json:"error,omitempty"`
+	Stages     []StageProgress `json:"stages,omitempty"`
+}
+
+// JobSnapshot is one periodic partial-state push for a running job —
+// the JSON payload of a Snapshot frame. Snapshots are ephemeral: a
+// disconnected client misses them and simply picks up fresh ones after
+// resuming (the Final is what gets buffered and redelivered).
+type JobSnapshot struct {
+	ID     uint64          `json:"id"`
+	State  string          `json:"state"`
+	Stages []StageProgress `json:"stages,omitempty"`
+}

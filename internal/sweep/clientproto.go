@@ -1,0 +1,313 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+
+	"faultmem/internal/yield"
+)
+
+// The client half of the protocol: the campaign-submission messages of
+// `faultmem serve`. They ride the same frame layer as the worker
+// messages (magic, version, CRC, gzip flags), use the same strict
+// length-validated codecs, and share the listening port — the first
+// frame's type (Hello vs ClientHello) routes a connection to the worker
+// pool or the client surface.
+
+// AuthEqual reports whether a presented shared secret matches the
+// configured one, in constant time (both sides are hashed first so the
+// comparison leaks neither content nor length). An empty configured
+// secret disables authentication entirely.
+func AuthEqual(want, got string) bool {
+	if want == "" {
+		return true
+	}
+	hw := sha256.Sum256([]byte(want))
+	hg := sha256.Sum256([]byte(got))
+	return subtle.ConstantTimeCompare(hw[:], hg[:]) == 1
+}
+
+// ClientHello opens a client connection. An empty token requests a new
+// client session; a token from a previous ClientWelcome resumes that
+// session — re-attaching its running jobs and draining any final
+// results buffered while the client was disconnected. Auth carries the
+// listener's shared secret when one is configured.
+type ClientHello struct {
+	Token string
+	Auth  string
+}
+
+func (m *ClientHello) encode() []byte {
+	b := appendStr8(nil, MsgClientHello, "token", m.Token)
+	return appendStr8(b, MsgClientHello, "auth", m.Auth)
+}
+
+func decodeClientHello(p []byte) (*ClientHello, error) {
+	r := &reader{t: MsgClientHello, b: p}
+	m := &ClientHello{Token: r.str8("token")}
+	m.Auth = r.str8("auth")
+	return m, r.done()
+}
+
+// clientWelcome flag bits.
+const welcomeFlagDraining = 1 << 0
+
+// ClientWelcome acknowledges a ClientHello and carries the session
+// token the client presents on reconnect. Draining tells the client the
+// server is winding down: running jobs will finish, new submissions are
+// rejected.
+type ClientWelcome struct {
+	Token    string
+	Draining bool
+}
+
+func (m *ClientWelcome) encode() []byte {
+	b := appendStr8(nil, MsgClientWelcome, "token", m.Token)
+	var flags byte
+	if m.Draining {
+		flags |= welcomeFlagDraining
+	}
+	return append(b, flags)
+}
+
+func decodeClientWelcome(p []byte) (*ClientWelcome, error) {
+	r := &reader{t: MsgClientWelcome, b: p}
+	m := &ClientWelcome{Token: r.str8("token")}
+	flags := r.u8()
+	m.Draining = flags&welcomeFlagDraining != 0
+	if r.err == nil && m.Token == "" {
+		r.fail("empty session token")
+	}
+	return m, r.done()
+}
+
+// Submit asks the server to admit one campaign: a registry name plus
+// the runner knobs, carried in exactly the wire form exp.Runner already
+// accepts (Params is a strict JSON override of the experiment's default
+// parameter struct). Ref correlates the SubmitReply; Priority weights
+// the fair-share scheduler (0 means the default weight 1; higher gets
+// proportionally more concurrent shards); Label is a free-form client
+// annotation echoed in status listings.
+type Submit struct {
+	Ref        uint64
+	Experiment string
+	Label      string
+	Priority   uint32
+	HasSeed    bool
+	Seed       int64
+	Quick      bool
+	Workers    int
+	Accum      yield.AccumMode
+	Bins       int
+	Params     []byte // JSON override, empty = experiment defaults
+}
+
+func (m *Submit) encode() []byte {
+	var flags byte
+	if m.HasSeed {
+		flags |= jobFlagSeed
+	}
+	if m.Quick {
+		flags |= jobFlagQuick
+	}
+	b := binary.BigEndian.AppendUint64(nil, m.Ref)
+	b = appendStr8(b, MsgSubmit, "experiment", m.Experiment)
+	b = appendStr8(b, MsgSubmit, "label", m.Label)
+	b = binary.BigEndian.AppendUint32(b, m.Priority)
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Seed))
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Workers))
+	b = append(b, byte(m.Accum))
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Bins))
+	return appendBlob32(b, m.Params)
+}
+
+func decodeSubmit(p []byte) (*Submit, error) {
+	r := &reader{t: MsgSubmit, b: p}
+	m := &Submit{}
+	m.Ref = r.u64()
+	m.Experiment = r.str8("experiment name")
+	m.Label = r.str8("label")
+	m.Priority = r.u32()
+	flags := r.u8()
+	m.HasSeed = flags&jobFlagSeed != 0
+	m.Quick = flags&jobFlagQuick != 0
+	m.Seed = int64(r.u64())
+	m.Workers = int(r.u32())
+	m.Accum = yield.AccumMode(r.u8())
+	m.Bins = int(r.u32())
+	m.Params = r.blob32("params")
+	if r.err == nil && m.Experiment == "" {
+		r.fail("empty experiment name")
+	}
+	return m, r.done()
+}
+
+// SubmitReply answers a Submit: the admitted job ID, or a rejection
+// (unknown experiment, server draining) carried in ErrMsg.
+type SubmitReply struct {
+	Ref    uint64
+	JobID  uint64
+	ErrMsg string
+}
+
+func (m *SubmitReply) encode() []byte {
+	b := binary.BigEndian.AppendUint64(nil, m.Ref)
+	b = binary.BigEndian.AppendUint64(b, m.JobID)
+	return appendBlob32(b, []byte(m.ErrMsg))
+}
+
+func decodeSubmitReply(p []byte) (*SubmitReply, error) {
+	r := &reader{t: MsgSubmitReply, b: p}
+	m := &SubmitReply{}
+	m.Ref = r.u64()
+	m.JobID = r.u64()
+	m.ErrMsg = string(r.blob32("error message"))
+	return m, r.done()
+}
+
+// ControlVerb enumerates the job-lifecycle verbs of MsgJobControl.
+type ControlVerb byte
+
+const (
+	// VerbStatus asks for one job's status (JobID selects it).
+	VerbStatus ControlVerb = iota + 1
+	// VerbCancel cancels one running job (its final message then reports
+	// the cancellation); already-finished jobs are a no-op.
+	VerbCancel
+	// VerbList asks for the status of every job the server knows.
+	VerbList
+	verbEnd
+)
+
+func (v ControlVerb) valid() bool { return v >= VerbStatus && v < verbEnd }
+
+func (v ControlVerb) String() string {
+	switch v {
+	case VerbStatus:
+		return "status"
+	case VerbCancel:
+		return "cancel"
+	case VerbList:
+		return "list"
+	default:
+		return "verb(?)"
+	}
+}
+
+// JobControl is one status/cancel/list request. JobID is ignored for
+// VerbList.
+type JobControl struct {
+	Ref   uint64
+	Verb  ControlVerb
+	JobID uint64
+}
+
+func (m *JobControl) encode() []byte {
+	b := binary.BigEndian.AppendUint64(nil, m.Ref)
+	b = append(b, byte(m.Verb))
+	return binary.BigEndian.AppendUint64(b, m.JobID)
+}
+
+func decodeJobControl(p []byte) (*JobControl, error) {
+	r := &reader{t: MsgJobControl, b: p}
+	m := &JobControl{}
+	m.Ref = r.u64()
+	m.Verb = ControlVerb(r.u8())
+	m.JobID = r.u64()
+	if r.err == nil && !m.Verb.valid() {
+		r.fail("unknown verb %d", byte(m.Verb))
+	}
+	return m, r.done()
+}
+
+// JobInfo answers a JobControl: a JSON status blob (one serve.JobStatus
+// for status/cancel, an array for list), or an error (unknown job).
+type JobInfo struct {
+	Ref    uint64
+	ErrMsg string
+	Data   []byte // JSON
+}
+
+func (m *JobInfo) encode() []byte {
+	b := binary.BigEndian.AppendUint64(nil, m.Ref)
+	b = appendBlob32(b, []byte(m.ErrMsg))
+	return appendBlob32(b, m.Data)
+}
+
+func decodeJobInfo(p []byte) (*JobInfo, error) {
+	r := &reader{t: MsgJobInfo, b: p}
+	m := &JobInfo{}
+	m.Ref = r.u64()
+	m.ErrMsg = string(r.blob32("error message"))
+	m.Data = r.blob32("status JSON")
+	return m, r.done()
+}
+
+// Snapshot is one periodic partial-state push for a running job: Seq
+// increments per push so a resumed client can discard stale snapshots,
+// and Data is the JSON-encoded serve.JobSnapshot (stage progress and
+// merged-sample counts so far).
+type Snapshot struct {
+	JobID uint64
+	Seq   uint64
+	Data  []byte // JSON
+}
+
+func (m *Snapshot) encode() []byte {
+	b := binary.BigEndian.AppendUint64(nil, m.JobID)
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	return appendBlob32(b, m.Data)
+}
+
+func decodeSnapshot(p []byte) (*Snapshot, error) {
+	r := &reader{t: MsgSnapshot, b: p}
+	m := &Snapshot{}
+	m.JobID = r.u64()
+	m.Seq = r.u64()
+	m.Data = r.blob32("snapshot JSON")
+	return m, r.done()
+}
+
+// Final is one job's terminal push: the full ExperimentResult JSON
+// (byte-identical to a local `faultmem run -json` of the same campaign)
+// on success, or the error that ended the job. It is buffered for a
+// disconnected client and re-delivered on session resume.
+type Final struct {
+	JobID  uint64
+	ErrMsg string
+	Result []byte // ExperimentResult JSON
+}
+
+func (m *Final) encode() []byte {
+	b := binary.BigEndian.AppendUint64(nil, m.JobID)
+	b = appendBlob32(b, []byte(m.ErrMsg))
+	return appendBlob32(b, m.Result)
+}
+
+func decodeFinal(p []byte) (*Final, error) {
+	r := &reader{t: MsgFinal, b: p}
+	m := &Final{}
+	m.JobID = r.u64()
+	m.ErrMsg = string(r.blob32("error message"))
+	m.Result = r.blob32("result JSON")
+	return m, r.done()
+}
+
+func (m *ClientHello) msgType() MsgType   { return MsgClientHello }
+func (m *ClientHello) payload() []byte    { return m.encode() }
+func (m *ClientWelcome) msgType() MsgType { return MsgClientWelcome }
+func (m *ClientWelcome) payload() []byte  { return m.encode() }
+func (m *Submit) msgType() MsgType        { return MsgSubmit }
+func (m *Submit) payload() []byte         { return m.encode() }
+func (m *SubmitReply) msgType() MsgType   { return MsgSubmitReply }
+func (m *SubmitReply) payload() []byte    { return m.encode() }
+func (m *JobControl) msgType() MsgType    { return MsgJobControl }
+func (m *JobControl) payload() []byte     { return m.encode() }
+func (m *JobInfo) msgType() MsgType       { return MsgJobInfo }
+func (m *JobInfo) payload() []byte        { return m.encode() }
+func (m *Snapshot) msgType() MsgType      { return MsgSnapshot }
+func (m *Snapshot) payload() []byte       { return m.encode() }
+func (m *Final) msgType() MsgType         { return MsgFinal }
+func (m *Final) payload() []byte          { return m.encode() }

@@ -35,6 +35,10 @@ type Config struct {
 	// LocalWorkers caps the parallelism of locally computed fallback
 	// shards (default GOMAXPROCS).
 	LocalWorkers int
+	// AuthToken, when non-empty, is the shared secret every worker must
+	// present in its Hello (constant-time compared); connections that
+	// fail the check are dropped before a session exists.
+	AuthToken string
 	// Logf, when non-nil, receives one line per robustness event
 	// (reassignments, rejected frames, session churn).
 	Logf func(format string, args ...any)
@@ -180,10 +184,22 @@ type Coordinator struct {
 // NewCoordinator starts a coordinator serving workers on ln. Close shuts
 // it down.
 func NewCoordinator(ln net.Listener, cfg Config) *Coordinator {
+	c := NewDetachedCoordinator(cfg)
+	c.ln = ln
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c
+}
+
+// NewDetachedCoordinator starts a coordinator without its own listener:
+// the caller accepts connections itself, performs the Hello read (and
+// whatever multiplexing it needs — the serve mode shares one port
+// between workers and clients), and hands worker connections over via
+// AdmitWorker. Close shuts it down.
+func NewDetachedCoordinator(cfg Config) *Coordinator {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
 		cfg:         cfg,
-		ln:          ln,
 		sessions:    map[string]*session{},
 		jobs:        map[uint64]*job{},
 		localTags:   map[string]struct{}{},
@@ -192,15 +208,20 @@ func NewCoordinator(ln net.Listener, cfg Config) *Coordinator {
 		kick:        make(chan struct{}, 1),
 		done:        make(chan struct{}),
 	}
-	c.wg.Add(3)
-	go c.acceptLoop()
+	c.wg.Add(2)
 	go c.scheduler()
 	go c.janitor()
 	return c
 }
 
 // Addr is the listener's address (useful with a ":0" listener in tests).
-func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+// It is nil for a detached coordinator.
+func (c *Coordinator) Addr() net.Addr {
+	if c.ln == nil {
+		return nil
+	}
+	return c.ln.Addr()
+}
 
 // Stats returns a snapshot of the robustness counters.
 func (c *Coordinator) Stats() Stats { return c.stats.snapshot() }
@@ -217,7 +238,9 @@ func (c *Coordinator) logf(format string, args ...any) {
 func (c *Coordinator) Close() error {
 	c.closed.Do(func() {
 		close(c.done)
-		c.ln.Close()
+		if c.ln != nil {
+			c.ln.Close()
+		}
 		c.mu.Lock()
 		type farewell struct {
 			s    *session
@@ -239,6 +262,20 @@ func (c *Coordinator) Close() error {
 	})
 	c.wg.Wait()
 	return nil
+}
+
+// ConnectedWorkers counts the worker sessions with a live connection
+// right now — the serve scheduler's capacity signal.
+func (c *Coordinator) ConnectedWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	connected := 0
+	for _, s := range c.sessions {
+		if s.conn != nil {
+			connected++
+		}
+	}
+	return connected
 }
 
 // AwaitWorkers blocks until at least n workers are connected (or ctx
@@ -278,7 +315,7 @@ func (c *Coordinator) notifyConnChange() {
 // on worker failure. The result is bit-identical to exp.Run with the
 // same runner on a single host.
 func (c *Coordinator) Run(ctx context.Context, name string, r *exp.Runner) (*exp.Result, error) {
-	rc, err := c.distributedRunner(r)
+	rc, err := c.DistributedRunner(r)
 	if err != nil {
 		return nil, err
 	}
@@ -289,18 +326,19 @@ func (c *Coordinator) Run(ctx context.Context, name string, r *exp.Runner) (*exp
 // shards fanned out to workers, streaming results to emit. Failure
 // aggregation follows exp.RunAll.
 func (c *Coordinator) RunAll(ctx context.Context, r *exp.Runner, emit func(*exp.Result) error) error {
-	rc, err := c.distributedRunner(r)
+	rc, err := c.DistributedRunner(r)
 	if err != nil {
 		return err
 	}
 	return exp.RunAll(ctx, rc, emit)
 }
 
-// distributedRunner clones r with the shard executor installed. The
-// campaign the executor ships is pinned per engine run from the resolved
-// runner knobs, so a worker's replay and the coordinator's plan agree on
-// every machine-dependent default.
-func (c *Coordinator) distributedRunner(r *exp.Runner) (*exp.Runner, error) {
+// DistributedRunner clones r with the shard executor installed — the
+// hook the serve scheduler wraps with its fair-share gate. The campaign
+// the executor ships is pinned per engine run from the resolved runner
+// knobs, so a worker's replay and the coordinator's plan agree on every
+// machine-dependent default.
+func (c *Coordinator) DistributedRunner(r *exp.Runner) (*exp.Runner, error) {
 	rc := &exp.Runner{}
 	if r != nil {
 		*rc = *r
@@ -635,8 +673,8 @@ func (c *Coordinator) janitor() {
 		for _, j := range c.jobs {
 			if j.state == jobLeased && now.After(j.leaseUntil) {
 				c.stats.reassigned.Add(1)
-				c.logf("sweep: lease expired for shard %d of %s (attempt %d), reassigning",
-					j.sj.Shard, j.sj.Tag, j.attempts)
+				c.logf("sweep: [job %d] lease expired for shard %d of %s (attempt %d), reassigning",
+					j.id, j.sj.Shard, j.sj.Tag, j.attempts)
 				c.requeueLocked(j)
 			}
 		}
@@ -720,7 +758,20 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	hello := m.(*Hello)
+	c.AdmitWorker(conn, m.(*Hello), flags)
+}
+
+// AdmitWorker runs one worker connection whose Hello frame has already
+// been read — the entry point for callers that accept and demultiplex
+// connections themselves (the serve mode's shared listener). It blocks
+// until the connection dies, closes conn on return, and leaves the
+// session resumable until SessionTTL.
+func (c *Coordinator) AdmitWorker(conn net.Conn, hello *Hello, flags byte) {
+	defer conn.Close()
+	if !AuthEqual(c.cfg.AuthToken, hello.Auth) {
+		c.logf("sweep: worker from %v failed authentication, dropped", conn.RemoteAddr())
+		return
+	}
 	// FlagGzipOK on Hello advertises a flags-aware worker; echoing it on
 	// Welcome — and only then — turns compression on for this
 	// connection. A pre-flags worker never sees a flagged frame.
@@ -826,7 +877,7 @@ func (c *Coordinator) handleResult(s *session, m *Result) {
 	v, err := j.sj.Decode(m.Data)
 	if err != nil {
 		// Undecodable payload: recompute rather than fail the campaign.
-		c.logf("sweep: result for shard %d of %s undecodable (%v), recomputing", j.sj.Shard, j.sj.Tag, err)
+		c.logf("sweep: [job %d] result for shard %d of %s undecodable (%v), recomputing", j.id, j.sj.Shard, j.sj.Tag, err)
 		c.mu.Lock()
 		if j.state != jobDone {
 			c.requeueLocked(j)
@@ -857,7 +908,7 @@ func (c *Coordinator) handleJobError(s *session, m *JobError) {
 		return
 	}
 	tag := j.sj.Tag
-	c.logf("sweep: worker failed shard %d of %s (%s); computing that run locally", j.sj.Shard, tag, m.Msg)
+	c.logf("sweep: [job %d] worker failed shard %d of %s (%s); computing that run locally", j.id, j.sj.Shard, tag, m.Msg)
 	c.localTags[tag] = struct{}{}
 	var toLocal []*job
 	cancels := map[*session][]uint64{}

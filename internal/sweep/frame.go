@@ -102,6 +102,36 @@ const (
 	// MsgDone tells a worker the coordinator is finished for good; the
 	// worker exits cleanly instead of reconnecting.
 	MsgDone
+
+	// The client half of the protocol: the campaign-submission surface of
+	// `faultmem serve`. A pre-serve peer reads these as unknown frame
+	// types — a recoverable skip, so mixed-version deployments degrade
+	// instead of desynchronizing.
+
+	// MsgClientHello opens a client connection (client -> server): an
+	// empty token requests a new client session, a previous token
+	// requests session resume (re-attaching running jobs and draining
+	// results buffered while disconnected).
+	MsgClientHello
+	// MsgClientWelcome acknowledges ClientHello (server -> client) and
+	// carries the session token plus the server's draining state.
+	MsgClientWelcome
+	// MsgSubmit submits one campaign: a registry name plus the runner
+	// knobs, exactly the wire form exp.Runner.Params accepts.
+	MsgSubmit
+	// MsgSubmitReply answers a Submit with the admitted job ID (or a
+	// rejection).
+	MsgSubmitReply
+	// MsgJobControl is a status/cancel/list verb against admitted jobs.
+	MsgJobControl
+	// MsgJobInfo answers a JobControl with a JSON status blob.
+	MsgJobInfo
+	// MsgSnapshot is a periodic server -> client push of one running
+	// job's partial state (stage progress, merged-sample counts).
+	MsgSnapshot
+	// MsgFinal is the server -> client push of one job's terminal
+	// outcome: the final ExperimentResult JSON or the error that ended it.
+	MsgFinal
 	msgTypeEnd
 )
 
@@ -125,6 +155,22 @@ func (t MsgType) String() string {
 		return "cancel"
 	case MsgDone:
 		return "done"
+	case MsgClientHello:
+		return "clienthello"
+	case MsgClientWelcome:
+		return "clientwelcome"
+	case MsgSubmit:
+		return "submit"
+	case MsgSubmitReply:
+		return "submitreply"
+	case MsgJobControl:
+		return "jobcontrol"
+	case MsgJobInfo:
+		return "jobinfo"
+	case MsgSnapshot:
+		return "snapshot"
+	case MsgFinal:
+		return "final"
 	default:
 		return fmt.Sprintf("type(%d)", byte(t))
 	}

@@ -3,6 +3,7 @@ package sweep
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"faultmem/internal/yield"
 )
@@ -127,14 +128,29 @@ func appendBlob32(dst []byte, b []byte) []byte {
 // Hello opens a connection. An empty token requests a fresh session; a
 // token from a previous Welcome asks the coordinator to resume that
 // session (re-binding its in-flight jobs and accepting its buffered
-// results).
-type Hello struct{ Token string }
+// results). Auth carries the listener's shared secret when one is
+// configured; it is an optional trailing field so a pre-auth peer's
+// Hello (no Auth bytes) still decodes, and an auth-free deployment's
+// wire bytes are unchanged.
+type Hello struct {
+	Token string
+	Auth  string
+}
 
-func (m *Hello) encode() []byte { return appendStr8(nil, MsgHello, "token", m.Token) }
+func (m *Hello) encode() []byte {
+	b := appendStr8(nil, MsgHello, "token", m.Token)
+	if m.Auth != "" {
+		b = appendStr8(b, MsgHello, "auth", m.Auth)
+	}
+	return b
+}
 
 func decodeHello(p []byte) (*Hello, error) {
 	r := &reader{t: MsgHello, b: p}
 	m := &Hello{Token: r.str8("token")}
+	if r.err == nil && len(r.b) > 0 {
+		m.Auth = r.str8("auth")
+	}
 	return m, r.done()
 }
 
@@ -354,6 +370,14 @@ func EncodeMessage(m Message) []byte {
 	return AppendFrame(nil, m.msgType(), m.payload())
 }
 
+// WriteMessage frames and writes one protocol message — the sending
+// surface for packages layered on top of the wire protocol (the serve
+// server and its client live outside this package and cannot reach the
+// unexported per-message encoders).
+func WriteMessage(w io.Writer, m Message) error {
+	return WriteFrame(w, m.msgType(), m.payload())
+}
+
 // Message is one decoded protocol message.
 type Message interface {
 	msgType() MsgType
@@ -398,6 +422,22 @@ func DecodeMessage(t MsgType, payload []byte) (Message, error) {
 		return decodeCancel(payload)
 	case MsgDone:
 		return decodeDone(payload)
+	case MsgClientHello:
+		return decodeClientHello(payload)
+	case MsgClientWelcome:
+		return decodeClientWelcome(payload)
+	case MsgSubmit:
+		return decodeSubmit(payload)
+	case MsgSubmitReply:
+		return decodeSubmitReply(payload)
+	case MsgJobControl:
+		return decodeJobControl(payload)
+	case MsgJobInfo:
+		return decodeJobInfo(payload)
+	case MsgSnapshot:
+		return decodeSnapshot(payload)
+	case MsgFinal:
+		return decodeFinal(payload)
 	default:
 		return nil, decodeError(t, "no decoder for frame type")
 	}

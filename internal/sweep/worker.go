@@ -34,6 +34,9 @@ type WorkerConfig struct {
 	// LocalWorkers caps the worker's compute parallelism across all
 	// in-flight shards (default GOMAXPROCS).
 	LocalWorkers int
+	// AuthToken is the shared secret presented in the Hello handshake
+	// when the coordinator's listening port requires one.
+	AuthToken string
 	// Logf, when non-nil, receives one line per connection event.
 	Logf func(format string, args ...any)
 }
@@ -177,7 +180,7 @@ func (w *worker) serveConn(ctx context.Context, conn net.Conn) (finished bool, e
 		helloFlags = 0
 	}
 	w.mu.Unlock()
-	if err := WriteFrameFlags(conn, MsgHello, helloFlags, (&Hello{Token: token}).encode()); err != nil {
+	if err := WriteFrameFlags(conn, MsgHello, helloFlags, (&Hello{Token: token, Auth: w.cfg.AuthToken}).encode()); err != nil {
 		return false, err
 	}
 	t, flags, payload, err := ReadFrameFlags(conn)

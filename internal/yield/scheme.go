@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	mbits "math/bits"
+	"sync"
 
 	"faultmem/internal/core"
 )
@@ -116,10 +117,24 @@ func NewShuffled(nfm int) Shuffled {
 	return NewShuffledConfig(core.Config{Width: 32, NFM: nfm})
 }
 
+// memoCache shares the RowMSE memo tables across every Shuffled built
+// in the process, keyed by configuration. The tables are immutable
+// after construction and depend only on the Config, so sharing is
+// always sound; the key space is tiny (width × nFM). This is the
+// scheme-level half of the serve mode's cross-request cache: a repeat
+// campaign's schemes skip the memo rebuild entirely.
+var memoCache sync.Map // core.Config -> *shuffleMemo
+
 // NewShuffledConfig returns the scheme for an arbitrary configuration
-// (Width a power of two in [2, 64]), with the RowMSE memo table built.
+// (Width a power of two in [2, 64]), with the RowMSE memo table built —
+// or fetched from the process-wide per-configuration cache when any
+// prior scheme already built it.
 func NewShuffledConfig(cfg core.Config) Shuffled {
-	return Shuffled{Cfg: cfg, memo: newShuffleMemo(cfg)}
+	if m, ok := memoCache.Load(cfg); ok {
+		return Shuffled{Cfg: cfg, memo: m.(*shuffleMemo)}
+	}
+	m, _ := memoCache.LoadOrStore(cfg, newShuffleMemo(cfg))
+	return Shuffled{Cfg: cfg, memo: m.(*shuffleMemo)}
 }
 
 // Name implements Scheme.
